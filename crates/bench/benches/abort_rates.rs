@@ -1,0 +1,79 @@
+//! §6.1 text claim — "the read-only transactions aborted due to version
+//! inconsistency are below 2.5 % out of the total number of transactions
+//! in all experiments" — plus the same-version-routing ablation: the
+//! scheduler policy that keeps aborts low (DESIGN.md ablation 2).
+
+use dmv_bench::{banner, shape_check, SEED};
+use dmv_common::clock::TimeScale;
+use dmv_core::cluster::{ClusterSpec, DmvCluster};
+use dmv_tpcw::backend::{load_cluster, Backend};
+use dmv_tpcw::emulator::{run_emulator, EmulatorConfig};
+use dmv_tpcw::interactions::IdAllocator;
+use dmv_tpcw::populate::{generate, TpcwScale};
+use dmv_tpcw::schema::tpcw_schema;
+use dmv_tpcw::Mix;
+use std::sync::Arc;
+use std::time::Duration;
+
+const TIME_SCALE: f64 = 0.25;
+
+fn run_once(mix: Mix, slaves: usize, same_version_routing: bool) -> f64 {
+    let scale = TpcwScale::small();
+    let mut spec = ClusterSpec::new(tpcw_schema(), TimeScale::new(TIME_SCALE));
+    spec.n_slaves = slaves;
+    spec.same_version_routing = same_version_routing;
+    spec.detect_interval = Duration::from_millis(500);
+    let cluster = DmvCluster::start(spec);
+    let pop = generate(scale, SEED);
+    load_cluster(&cluster, &pop).expect("population loads");
+    cluster.finish_load();
+    let ids = Arc::new(IdAllocator::from_population(scale, &pop));
+    let backend = Backend::Dmv(cluster.session());
+    let cfg = EmulatorConfig {
+        mix,
+        n_clients: 24,
+        think_time: Duration::from_millis(150),
+        duration: Duration::from_secs(10),
+        warmup: Duration::from_secs(2),
+        retries: 30,
+        seed: SEED,
+        series_window: Duration::from_secs(2),
+    };
+    let _ = run_emulator(&backend, cluster.clock(), &ids, scale, cfg);
+    let rate = cluster.version_abort_rate();
+    cluster.shutdown();
+    rate
+}
+
+fn main() {
+    banner("Abort rates", "version-conflict aborts (< 2.5% in all paper experiments)");
+    let mut ok = true;
+    let mut with_routing = Vec::new();
+    for mix in Mix::ALL {
+        for slaves in [2usize, 4] {
+            let rate = run_once(mix, slaves, true);
+            println!("  {mix:>9} mix, {slaves} slaves, version-aware routing: {:.2}%", rate * 100.0);
+            with_routing.push(rate);
+            ok &= shape_check(
+                &format!("{mix}/{slaves} slaves under 2.5%"),
+                rate < 0.025,
+                &format!("{:.2}%", rate * 100.0),
+            );
+        }
+    }
+
+    println!("\n--- ablation: plain load balancing (no same-version preference) ---");
+    let ablated = run_once(Mix::Ordering, 4, false);
+    let routed = run_once(Mix::Ordering, 4, true);
+    println!(
+        "  ordering mix, 4 slaves: routed {:.2}% vs plain {:.2}%",
+        routed * 100.0,
+        ablated * 100.0
+    );
+    ok &= shape_check(
+        "version-aware routing does not increase aborts",
+        routed <= ablated + 0.01,
+        &format!("routed {:.2}% vs plain {:.2}%", routed * 100.0, ablated * 100.0),
+    );
+    println!("\nAbort-rate experiment overall: {}", if ok { "PASS" } else { "FAIL" });
+}

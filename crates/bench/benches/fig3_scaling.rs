@@ -1,0 +1,102 @@
+//! Figure 3 — throughput scaling of the DMV in-memory tier vs a
+//! stand-alone InnoDB-style on-disk database, for the browsing,
+//! shopping and ordering TPC-W mixes with 1, 2, 4 and 8 slaves.
+//!
+//! Paper result: with 8 slaves the in-memory tier beats InnoDB by
+//! ×14.6 (browsing), ×17.6 (shopping) and ×6.5 (ordering); browsing and
+//! shopping scale near-linearly with slaves while ordering scales worse
+//! (master saturation from update/index work).
+//!
+//! Absolute WIPS differ from the paper (simulated substrate, scaled
+//! database); the shape checks assert the *relative* results.
+
+use dmv_bench::{banner, deploy_disk, deploy_dmv, shape_check, DmvOptions, SEED};
+use dmv_tpcw::emulator::{run_emulator, EmulatorConfig};
+use dmv_tpcw::populate::TpcwScale;
+use dmv_tpcw::Mix;
+use std::collections::HashMap;
+use std::time::Duration;
+
+const TIME_SCALE: f64 = 0.25;
+const SLAVE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn emulator_cfg(mix: Mix) -> EmulatorConfig {
+    EmulatorConfig {
+        mix,
+        n_clients: 32,
+        think_time: Duration::from_millis(150),
+        duration: Duration::from_secs(8),
+        warmup: Duration::from_secs(3),
+        retries: 20,
+        seed: SEED,
+        series_window: Duration::from_secs(2),
+    }
+}
+
+fn main() {
+    banner("Figure 3", "DMV in-memory tier vs stand-alone InnoDB (peak WIPS)");
+    let scale = TpcwScale::small();
+    let mut wips: HashMap<(Mix, String), f64> = HashMap::new();
+
+    for mix in Mix::ALL {
+        println!("\n--- {mix} mix ({}% updates) ---", (mix.update_fraction() * 100.0).round());
+
+        // Stand-alone on-disk baseline (buffer pool ~40% of the DB).
+        let (_db, backend, ids, clock) = deploy_disk(scale, TIME_SCALE, 0.4);
+        let report = run_emulator(&backend, clock, &ids, scale, emulator_cfg(mix));
+        println!(
+            "  InnoDB baseline : {:8.1} WIPS   mean {:6.1} ms   p90 {:6.1} ms",
+            report.wips,
+            report.mean_latency.as_secs_f64() * 1e3,
+            report.p90_latency.as_secs_f64() * 1e3
+        );
+        wips.insert((mix, "innodb".into()), report.wips);
+
+        for n in SLAVE_COUNTS {
+            let d = deploy_dmv(scale, TIME_SCALE, DmvOptions { slaves: n, ..Default::default() });
+            let report = run_emulator(&d.backend, d.clock, &d.ids, scale, emulator_cfg(mix));
+            println!(
+                "  DMV {n} slave(s) : {:8.1} WIPS   mean {:6.1} ms   p90 {:6.1} ms   aborts {:.2}%",
+                report.wips,
+                report.mean_latency.as_secs_f64() * 1e3,
+                report.p90_latency.as_secs_f64() * 1e3,
+                d.cluster.version_abort_rate() * 100.0
+            );
+            wips.insert((mix, format!("dmv{n}")), report.wips);
+            d.cluster.shutdown();
+        }
+
+        let base = wips[&(mix, "innodb".to_string())];
+        print!("  speedup vs InnoDB:");
+        for n in SLAVE_COUNTS {
+            print!("  {}sl ×{:.1}", n, wips[&(mix, format!("dmv{n}"))] / base);
+        }
+        println!();
+    }
+
+    println!("\n--- shape checks ---");
+    let mut ok = true;
+    for mix in Mix::ALL {
+        let base = wips[&(mix, "innodb".to_string())];
+        let best = wips[&(mix, "dmv8".to_string())];
+        ok &= shape_check(
+            &format!("{mix}: DMV(8) beats InnoDB"),
+            best > base * 2.0,
+            &format!("×{:.1} (paper: ×6.5–17.6)", best / base),
+        );
+        let one = wips[&(mix, "dmv1".to_string())];
+        ok &= shape_check(
+            &format!("{mix}: tier scales with slaves"),
+            best > one * 1.5,
+            &format!("8 slaves ×{:.1} over 1 slave", best / one),
+        );
+    }
+    let shopping8 = wips[&(Mix::Shopping, "dmv8".to_string())] / wips[&(Mix::Shopping, "innodb".to_string())];
+    let ordering8 = wips[&(Mix::Ordering, "dmv8".to_string())] / wips[&(Mix::Ordering, "innodb".to_string())];
+    ok &= shape_check(
+        "ordering speedup < shopping speedup (master saturation)",
+        ordering8 < shopping8,
+        &format!("ordering ×{ordering8:.1} vs shopping ×{shopping8:.1}"),
+    );
+    println!("\nFigure 3 overall: {}", if ok { "PASS" } else { "FAIL" });
+}

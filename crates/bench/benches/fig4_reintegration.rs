@@ -1,0 +1,102 @@
+//! Figure 4 — fault tolerance with node reintegration (shopping mix).
+//!
+//! Master + 4 slaves; the master is killed mid-run. The paper shows
+//! throughput degrading gracefully by ~20 % (a slave is promoted, so one
+//! fewer serves reads), then — after ~6 minutes of reboot time — the
+//! failed node reintegrates as a slave: ~5 s of catch-up (selective page
+//! transfer, worst case: everything since the run's start) plus a cache
+//! warm-up period, after which throughput returns to normal.
+//!
+//! The timeline here is compressed (kill at 40 s, 30 s "reboot") but
+//! keeps the phases and their ordering.
+
+use dmv_bench::{banner, deploy_dmv, mean_rate, print_series, shape_check, DmvOptions, SEED};
+use dmv_tpcw::emulator::{spawn_emulator, EmulatorConfig};
+use dmv_tpcw::populate::TpcwScale;
+use dmv_tpcw::Mix;
+use std::time::Duration;
+
+fn main() {
+    banner("Figure 4", "node reintegration under the shopping mix (master killed)");
+    let time_scale = 0.25;
+    let scale = TpcwScale::small();
+    let d = deploy_dmv(
+        scale,
+        time_scale,
+        DmvOptions {
+            slaves: 4,
+            // Long checkpoint period = the paper's worst case: every
+            // modification since the start of the run is transferred.
+            checkpoint_period: Some(Duration::from_secs(2400)),
+            ..Default::default()
+        },
+    );
+
+    let kill_at = Duration::from_secs(40);
+    let reboot = Duration::from_secs(30); // the paper's 6-minute reboot, compressed
+    let total = Duration::from_secs(160);
+
+    let cfg = EmulatorConfig {
+        mix: Mix::Shopping,
+        n_clients: 24,
+        think_time: Duration::from_millis(200),
+        duration: total,
+        warmup: Duration::ZERO,
+        retries: 30,
+        seed: SEED,
+        series_window: Duration::from_secs(5),
+    };
+    let handle = spawn_emulator(&d.backend, d.clock, &d.ids, scale, cfg);
+
+    let master = d.cluster.master(0).id();
+    while d.clock.now_paper() < kill_at {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!("  t={:>4}s  killing master {master}", d.clock.now_paper().as_secs());
+    d.cluster.kill_replica(master);
+
+    while d.clock.now_paper() < kill_at + reboot {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!("  t={:>4}s  node rebooted; reintegrating", d.clock.now_paper().as_secs());
+    let report = d.cluster.reintegrate(master).expect("reintegration succeeds");
+    println!(
+        "  t={:>4}s  catch-up done: {} pages / {} KiB in {:.1}s (paper: ~5s)",
+        d.clock.now_paper().as_secs(),
+        report.pages,
+        report.bytes / 1024,
+        report.duration.as_secs_f64()
+    );
+
+    let emu = handle.join();
+    d.cluster.shutdown();
+    print_series("throughput timeline (paper Figure 4)", &emu.series);
+
+    let pre = mean_rate(&emu.series, Duration::from_secs(10), kill_at);
+    let degraded = mean_rate(&emu.series, kill_at + Duration::from_secs(5), kill_at + reboot);
+    let recovered = mean_rate(&emu.series, total - Duration::from_secs(30), total);
+
+    println!("\n--- shape checks ---");
+    let mut ok = true;
+    ok &= shape_check(
+        "service continues through master failure",
+        degraded > 0.0,
+        &format!("{degraded:.1} WIPS while degraded"),
+    );
+    ok &= shape_check(
+        "graceful degradation (one fewer read replica)",
+        degraded < pre * 0.97 && degraded > pre * 0.3,
+        &format!("pre {pre:.1} → degraded {degraded:.1} WIPS (paper: ~20% drop)"),
+    );
+    ok &= shape_check(
+        "catch-up is seconds, not minutes",
+        report.duration < Duration::from_secs(30),
+        &format!("{:.1}s", report.duration.as_secs_f64()),
+    );
+    ok &= shape_check(
+        "throughput recovers after reintegration + warmup",
+        recovered > degraded && recovered > pre * 0.85,
+        &format!("recovered {recovered:.1} vs pre {pre:.1} WIPS"),
+    );
+    println!("\nFigure 4 overall: {}", if ok { "PASS" } else { "FAIL" });
+}

@@ -1,0 +1,216 @@
+//! Criterion micro-benchmarks for the design choices DESIGN.md calls
+//! out:
+//!
+//! * `pagediff/*` — byte-diff encoding vs full-page shipping (ablation
+//!   1: the paper ships fine-grained modifications, not pages);
+//! * `version/*` — version-vector operations on the scheduler hot path;
+//! * `btree/*` — page-based B+Tree index operations (the master's
+//!   "costly index updates");
+//! * `locks/*` — per-page 2PL lock manager;
+//! * `writeset/*` — the capture → broadcast-encode → apply pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dmv_common::ids::{NodeId, PageId, TableId, TxnId};
+use dmv_common::version::VersionVector;
+use dmv_core::messages::WriteSet;
+use dmv_core::PendingApplier;
+use dmv_memdb::lock::{LockManager, LockMode};
+use dmv_memdb::{MemDb, MemDbOptions};
+use dmv_pagestore::diff::PageDiff;
+use dmv_pagestore::{PageStore, PAGE_SIZE};
+use dmv_sql::exec::ExecContext;
+use dmv_sql::schema::{ColType, Column, IndexDef, Schema, TableSchema};
+use dmv_sql::value::Value;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sparse_change(before: &[u8], n_bytes: usize) -> Vec<u8> {
+    let mut after = before.to_vec();
+    for i in 0..n_bytes {
+        let at = (i * 131) % PAGE_SIZE;
+        after[at] = after[at].wrapping_add(1);
+    }
+    after
+}
+
+fn bench_pagediff(c: &mut Criterion) {
+    let before = vec![0u8; PAGE_SIZE];
+    let after_small = sparse_change(&before, 32);
+    let after_big = sparse_change(&before, 1024);
+
+    let mut g = c.benchmark_group("pagediff");
+    g.bench_function("compute_small_change", |b| {
+        b.iter(|| PageDiff::compute(black_box(&before), black_box(&after_small)))
+    });
+    g.bench_function("compute_large_change", |b| {
+        b.iter(|| PageDiff::compute(black_box(&before), black_box(&after_big)))
+    });
+    let diff = PageDiff::compute(&before, &after_small);
+    g.bench_function("apply_small_change", |b| {
+        b.iter_batched(
+            || before.clone(),
+            |mut page| diff.apply(black_box(&mut page)),
+            BatchSize::SmallInput,
+        )
+    });
+    // Ablation: shipping the whole page instead of the diff.
+    g.bench_function("full_page_copy", |b| {
+        b.iter_batched(
+            || before.clone(),
+            |mut page| page.copy_from_slice(black_box(&after_small)),
+            BatchSize::SmallInput,
+        )
+    });
+    println!(
+        "pagediff ablation: diff wire size {} B vs full page {} B",
+        diff.encoded_len(),
+        PAGE_SIZE
+    );
+    g.finish();
+}
+
+fn bench_version(c: &mut Criterion) {
+    let mut g = c.benchmark_group("version");
+    let a = VersionVector::from_entries((0..10).map(|i| i * 7).collect());
+    let b2 = VersionVector::from_entries((0..10).map(|i| i * 5 + 3).collect());
+    g.bench_function("merge_10_tables", |b| {
+        b.iter_batched(|| a.clone(), |mut v| v.merge(black_box(&b2)), BatchSize::SmallInput)
+    });
+    g.bench_function("dominates_10_tables", |b| b.iter(|| a.dominates(black_box(&b2))));
+    g.finish();
+}
+
+fn kv_schema() -> Schema {
+    Schema::new(vec![TableSchema::new(
+        TableId(0),
+        "kv",
+        vec![Column::new("k", ColType::Int), Column::new("v", ColType::Str)],
+        vec![IndexDef::unique("pk", vec![0])],
+    )])
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("insert_1000_sequential", |b| {
+        b.iter_batched(
+            || MemDb::new(kv_schema(), MemDbOptions::default()),
+            |db| {
+                let mut txn = db.begin_update();
+                for k in 0..1000i64 {
+                    txn.insert(TableId(0), vec![k.into(), "value".into()]).unwrap();
+                }
+                txn.commit(None);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let db = MemDb::new(kv_schema(), MemDbOptions::default());
+    {
+        let mut txn = db.begin_update();
+        for k in 0..10_000i64 {
+            txn.insert(TableId(0), vec![k.into(), "value".into()]).unwrap();
+        }
+        txn.commit(None);
+    }
+    g.bench_function("point_lookup_10k", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 37) % 10_000;
+            let mut txn = db.begin_read_local();
+            black_box(txn.index_lookup(TableId(0), 0, &[Value::Int(i)]).unwrap());
+        })
+    });
+    g.bench_function("range_scan_100", |b| {
+        b.iter(|| {
+            let mut txn = db.begin_read_local();
+            black_box(
+                txn.index_range(
+                    TableId(0),
+                    0,
+                    Some((&[Value::Int(5000)], true)),
+                    Some((&[Value::Int(5099)], true)),
+                    false,
+                    None,
+                )
+                .unwrap(),
+            );
+        })
+    });
+    g.finish();
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks");
+    let mgr = LockManager::new(Duration::from_millis(100));
+    let txn = TxnId::new(NodeId(0), 1);
+    g.bench_function("acquire_release_exclusive_8pages", |b| {
+        b.iter(|| {
+            for p in 0..8u32 {
+                mgr.acquire(txn, PageId::heap(TableId(0), p), LockMode::Exclusive).unwrap();
+            }
+            mgr.release_all(txn);
+        })
+    });
+    g.finish();
+}
+
+fn bench_writeset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("writeset");
+    // Capture: one update transaction producing diffs.
+    g.bench_function("capture_update_txn", |b| {
+        let db = MemDb::new(kv_schema(), MemDbOptions::default());
+        {
+            let mut txn = db.begin_update();
+            for k in 0..1000i64 {
+                txn.insert(TableId(0), vec![k.into(), "value".into()]).unwrap();
+            }
+            txn.commit(None);
+        }
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 1) % 1000;
+            let mut txn = db.begin_update();
+            let hit = txn.index_lookup(TableId(0), 0, &[Value::Int(k)]).unwrap();
+            let (rid, mut row) = hit.into_iter().next().unwrap();
+            row[1] = "updated".into();
+            txn.update(TableId(0), rid, row).unwrap();
+            black_box(txn.precommit());
+            txn.commit(None);
+        })
+    });
+    // Apply: a slave enqueue + materialize cycle.
+    g.bench_function("enqueue_and_materialize", |b| {
+        let store = Arc::new(PageStore::new_free());
+        let applier = PendingApplier::new(Arc::clone(&store), 1, Duration::from_secs(1));
+        let before = vec![0u8; PAGE_SIZE];
+        let after = sparse_change(&before, 64);
+        let diff = PageDiff::compute(&before, &after);
+        let mut version = 0u64;
+        b.iter(|| {
+            version += 1;
+            let mut vv = VersionVector::new(1);
+            vv.set(TableId(0), version);
+            let ws = WriteSet {
+                txn: TxnId::new(NodeId(0), version),
+                versions: vv,
+                pages: vec![(PageId::heap(TableId(0), 0), diff.clone())],
+            };
+            applier.enqueue(&ws);
+            applier.apply_page(PageId::heap(TableId(0), 0));
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: the full figure suite shares the wall
+    // clock with these micro-benchmarks.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_pagediff, bench_version, bench_btree, bench_locks, bench_writeset
+}
+criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! Time scaling between *paper time* and wall-clock time.
+//!
+//! The paper's experiments run for tens of minutes on a 19-node physical
+//! cluster. This reproduction compresses them: every modeled latency (disk
+//! access, network hop, client think time, checkpoint interval, ...) is
+//! specified in **paper time** and multiplied by a global [`TimeScale`]
+//! before it is actually slept, so a 40-minute experiment completes in tens
+//! of wall seconds while all *ratios* between modeled costs are preserved.
+//! Results are reported de-scaled, i.e. back in paper time, so they can be
+//! compared with the paper's figures directly.
+
+use std::time::{Duration, Instant};
+
+/// Multiplier mapping paper time to wall time (`wall = paper * factor`).
+///
+/// ```
+/// use dmv_common::clock::TimeScale;
+/// use std::time::Duration;
+///
+/// let s = TimeScale::new(0.01); // 1 paper-second = 10 wall-ms
+/// assert_eq!(s.to_wall(Duration::from_secs(1)), Duration::from_millis(10));
+/// assert_eq!(s.to_paper(Duration::from_millis(10)), Duration::from_secs(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeScale {
+    factor: f64,
+}
+
+impl TimeScale {
+    /// Creates a time scale with the given wall/paper factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn new(factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "time scale must be positive");
+        TimeScale { factor }
+    }
+
+    /// Identity scale: paper time == wall time.
+    pub fn realtime() -> Self {
+        TimeScale { factor: 1.0 }
+    }
+
+    /// The wall/paper factor.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Converts a paper-time duration to wall time.
+    pub fn to_wall(&self, paper: Duration) -> Duration {
+        Duration::from_secs_f64(paper.as_secs_f64() * self.factor)
+    }
+
+    /// Converts a wall-clock duration back to paper time.
+    pub fn to_paper(&self, wall: Duration) -> Duration {
+        Duration::from_secs_f64(wall.as_secs_f64() / self.factor)
+    }
+
+    /// Convenience: `secs` of paper time as a wall duration.
+    pub fn paper_secs(&self, secs: f64) -> Duration {
+        self.to_wall(Duration::from_secs_f64(secs))
+    }
+
+    /// Convenience: `ms` of paper time as a wall duration.
+    pub fn paper_millis(&self, ms: f64) -> Duration {
+        self.paper_secs(ms / 1e3)
+    }
+
+    /// Convenience: `us` of paper time as a wall duration.
+    pub fn paper_micros(&self, us: f64) -> Duration {
+        self.paper_secs(us / 1e6)
+    }
+}
+
+impl Default for TimeScale {
+    fn default() -> Self {
+        TimeScale::realtime()
+    }
+}
+
+/// A clock measuring elapsed **paper time** since an epoch, and able to
+/// sleep for paper-time durations.
+///
+/// Cheap to clone; all clones share the same epoch and scale.
+#[derive(Debug, Clone, Copy)]
+pub struct SimClock {
+    epoch: Instant,
+    scale: TimeScale,
+}
+
+impl SimClock {
+    /// Starts a clock now with the given scale.
+    pub fn new(scale: TimeScale) -> Self {
+        SimClock { epoch: Instant::now(), scale }
+    }
+
+    /// The clock's time scale.
+    pub fn scale(&self) -> TimeScale {
+        self.scale
+    }
+
+    /// Paper time elapsed since the clock was created.
+    pub fn now_paper(&self) -> Duration {
+        self.scale.to_paper(self.epoch.elapsed())
+    }
+
+    /// Wall time elapsed since the clock was created.
+    pub fn now_wall(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Sleeps for `paper` of paper time (i.e. the scaled wall duration).
+    ///
+    /// Sub-microsecond scaled durations are skipped rather than slept, so
+    /// very small modeled costs do not dominate with scheduler noise.
+    pub fn sleep_paper(&self, paper: Duration) {
+        let wall = self.scale.to_wall(paper);
+        if wall >= Duration::from_micros(1) {
+            std::thread::sleep(wall);
+        }
+    }
+
+    /// Sleeps for `secs` paper seconds.
+    pub fn sleep_paper_secs(&self, secs: f64) {
+        self.sleep_paper(Duration::from_secs_f64(secs));
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::new(TimeScale::realtime())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_roundtrip() {
+        let s = TimeScale::new(0.05);
+        let d = Duration::from_millis(1234);
+        let back = s.to_paper(s.to_wall(d));
+        let err = back.as_secs_f64() - d.as_secs_f64();
+        assert!(err.abs() < 1e-9, "roundtrip error {err}");
+    }
+
+    #[test]
+    fn paper_conversions() {
+        let s = TimeScale::new(0.1);
+        assert_eq!(s.paper_secs(2.0), Duration::from_millis(200));
+        assert_eq!(s.paper_millis(50.0), Duration::from_millis(5));
+        assert_eq!(s.paper_micros(100.0), Duration::from_micros(10));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_rejected() {
+        let _ = TimeScale::new(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_scale_rejected() {
+        let _ = TimeScale::new(-1.0);
+    }
+
+    #[test]
+    fn clock_advances_in_paper_time() {
+        let c = SimClock::new(TimeScale::new(0.001)); // 1 paper-s = 1 wall-ms
+        std::thread::sleep(Duration::from_millis(5));
+        let p = c.now_paper();
+        assert!(p >= Duration::from_secs(4), "paper time was {p:?}");
+    }
+
+    #[test]
+    fn sleep_paper_sleeps_scaled() {
+        let c = SimClock::new(TimeScale::new(0.001));
+        let t0 = Instant::now();
+        c.sleep_paper_secs(2.0); // = 2 wall-ms
+        let el = t0.elapsed();
+        assert!(el >= Duration::from_millis(2));
+        assert!(el < Duration::from_millis(500), "slept too long: {el:?}");
+    }
+
+    #[test]
+    fn tiny_sleeps_are_skipped() {
+        let c = SimClock::new(TimeScale::new(1e-9));
+        let t0 = Instant::now();
+        c.sleep_paper_secs(1.0); // scaled to 1ns -> skipped
+        assert!(t0.elapsed() < Duration::from_millis(50));
+    }
+}

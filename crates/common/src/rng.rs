@@ -1,0 +1,97 @@
+//! Deterministic random-number helpers.
+//!
+//! All randomized components in the workspace (workload generation,
+//! population, load balancing tie-breaks) draw from seeded generators so
+//! experiments are reproducible run to run.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic generator from a 64-bit seed.
+pub fn seeded(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Derives an independent stream from a base seed and a stream index,
+/// so each client/node thread gets its own deterministic sequence.
+pub fn derive(seed: u64, stream: u64) -> SmallRng {
+    // SplitMix64-style mix keeps streams well separated.
+    let mut z = seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    SmallRng::seed_from_u64(z)
+}
+
+/// Random ASCII alphanumeric string of length in `[min_len, max_len]`.
+pub fn alnum_string<R: Rng>(rng: &mut R, min_len: usize, max_len: usize) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    let len = rng.gen_range(min_len..=max_len);
+    (0..len).map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char).collect()
+}
+
+/// Jittered exponential backoff sleep for transaction retries (breaks
+/// deadlock-retry livelock storms). Wall-clock; capped at 16× the base.
+pub fn retry_backoff(attempt: usize) {
+    use rand::Rng as _;
+    let base_us = 500u64;
+    let factor = 1u64 << attempt.min(4);
+    let max = base_us * factor;
+    let us = rand::thread_rng().gen_range(0..=max);
+    if us > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(us));
+    }
+}
+
+/// Sample from a (truncated) negative exponential distribution with the
+/// given mean — the TPC-W think-time distribution. The result is clamped
+/// to `7 * mean` as the TPC-W specification requires.
+pub fn neg_exp<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    (-mean * u.ln()).min(7.0 * mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let mut a = derive(42, 0);
+        let mut b = derive(42, 1);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn alnum_string_length_bounds() {
+        let mut r = seeded(1);
+        for _ in 0..100 {
+            let s = alnum_string(&mut r, 3, 10);
+            assert!((3..=10).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn neg_exp_mean_and_clamp() {
+        let mut r = seeded(7);
+        let mean = 2.0;
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| neg_exp(&mut r, mean)).collect();
+        let avg = samples.iter().sum::<f64>() / n as f64;
+        assert!((avg - mean).abs() < 0.1, "mean was {avg}");
+        assert!(samples.iter().all(|&s| s <= 7.0 * mean + 1e-9));
+        assert!(samples.iter().all(|&s| s >= 0.0));
+    }
+}

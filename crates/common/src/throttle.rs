@@ -1,0 +1,133 @@
+//! Capacity-limited cost charging.
+//!
+//! Modeled costs (disk accesses, per-query CPU) must not simply sleep:
+//! concurrent sleepers would give a node unbounded capacity, erasing the
+//! saturation effects the paper's scaling curves depend on (a single
+//! disk arm serves one seek at a time; a dual-CPU node runs two query
+//! threads at a time). A [`Throttle`] holds a fixed number of permits;
+//! charging acquires a permit for the scaled duration, so concurrent
+//! charges queue exactly like requests at a saturated resource.
+
+use crate::clock::SimClock;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Inner {
+    permits: Mutex<usize>,
+    cv: Condvar,
+    clock: SimClock,
+}
+
+/// A semaphore-guarded cost charger. Cheap to clone (shared permits).
+#[derive(Clone)]
+pub struct Throttle {
+    inner: Arc<Inner>,
+}
+
+impl Throttle {
+    /// Creates a throttle with `permits` concurrent service slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permits` is zero.
+    pub fn new(clock: SimClock, permits: usize) -> Self {
+        assert!(permits > 0, "a resource needs at least one service slot");
+        Throttle { inner: Arc::new(Inner { permits: Mutex::new(permits), cv: Condvar::new(), clock }) }
+    }
+
+    /// Charges `paper` of service time: waits for a permit, holds it for
+    /// the scaled duration, releases it. Zero charges return immediately.
+    pub fn charge(&self, paper: Duration) {
+        if paper.is_zero() {
+            return;
+        }
+        {
+            let mut permits = self.inner.permits.lock();
+            while *permits == 0 {
+                self.inner.cv.wait(&mut permits);
+            }
+            *permits -= 1;
+        }
+        // Always sleep (never spin): the harness may run on a host with
+        // very few cores, where spinning starves the threads being
+        // simulated. Charges are batched per statement upstream, so the
+        // OS timer granularity (~0.1 ms) is amortized.
+        self.inner.clock.sleep_paper(paper);
+        {
+            let mut permits = self.inner.permits.lock();
+            *permits += 1;
+        }
+        self.inner.cv.notify_one();
+    }
+
+    /// The throttle's clock.
+    pub fn clock(&self) -> SimClock {
+        self.inner.clock
+    }
+}
+
+impl std::fmt::Debug for Throttle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Throttle").field("permits", &*self.inner.permits.lock()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TimeScale;
+    use std::time::Instant;
+
+    #[test]
+    fn zero_charge_is_free() {
+        let t = Throttle::new(SimClock::default(), 1);
+        let t0 = Instant::now();
+        t.charge(Duration::ZERO);
+        assert!(t0.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn single_permit_serializes() {
+        // 4 threads × 4 paper-seconds on one permit at 1 paper-s = 2 wall-ms
+        // must take ≥ 4*4*2 = 32 wall-ms; with unlimited concurrency it
+        // would take ~8 ms.
+        let clock = SimClock::new(TimeScale::new(0.002));
+        let t = Throttle::new(clock, 1);
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = t.clone();
+                std::thread::spawn(move || t.charge(Duration::from_secs(4)))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(30), "elapsed {:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn more_permits_increase_parallelism() {
+        let clock = SimClock::new(TimeScale::new(0.002));
+        let t = Throttle::new(clock, 4);
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = t.clone();
+                std::thread::spawn(move || t.charge(Duration::from_secs(4)))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All four run in parallel: ~8 ms, allow generous slack.
+        assert!(t0.elapsed() < Duration::from_millis(25), "elapsed {:?}", t0.elapsed());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_permits_rejected() {
+        let _ = Throttle::new(SimClock::default(), 0);
+    }
+}

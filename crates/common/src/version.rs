@@ -1,0 +1,260 @@
+//! The database version vector (`DBVersion` in the paper).
+//!
+//! Each committed update transaction on a master produces a new database
+//! state, represented by a vector with one integer entry per table. The
+//! scheduler merges the vectors reported by the (possibly multiple) masters
+//! and tags every read-only transaction with the most recent merged vector;
+//! slaves then materialize exactly that state, lazily, page by page.
+
+use crate::ids::TableId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single table's version component.
+pub type TableVersion = u64;
+
+/// Per-table version vector describing a consistent database state.
+///
+/// `VersionVector` is a small, cloneable value type; ordering between
+/// vectors is the usual component-wise partial order.
+///
+/// ```
+/// use dmv_common::version::VersionVector;
+/// use dmv_common::ids::TableId;
+///
+/// let mut a = VersionVector::new(2);
+/// let mut b = VersionVector::new(2);
+/// a.bump(TableId(0));
+/// b.bump(TableId(1));
+/// let m = a.merged(&b);
+/// assert!(m.dominates(&a) && m.dominates(&b));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VersionVector {
+    entries: Vec<TableVersion>,
+}
+
+impl VersionVector {
+    /// Creates a zero vector for `n_tables` tables.
+    pub fn new(n_tables: usize) -> Self {
+        VersionVector { entries: vec![0; n_tables] }
+    }
+
+    /// Creates a vector from explicit entries.
+    pub fn from_entries(entries: Vec<TableVersion>) -> Self {
+        VersionVector { entries }
+    }
+
+    /// Number of tables covered by this vector.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the vector covers no tables.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Version component for `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of range for this vector.
+    pub fn get(&self, table: TableId) -> TableVersion {
+        self.entries[table.0 as usize]
+    }
+
+    /// Sets the component for `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of range for this vector.
+    pub fn set(&mut self, table: TableId, v: TableVersion) {
+        self.entries[table.0 as usize] = v;
+    }
+
+    /// Increments the component for `table` and returns the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of range for this vector.
+    pub fn bump(&mut self, table: TableId) -> TableVersion {
+        let e = &mut self.entries[table.0 as usize];
+        *e += 1;
+        *e
+    }
+
+    /// Component-wise maximum with `other`, in place.
+    ///
+    /// This is the scheduler's merge of version vectors reported by
+    /// different conflict-class masters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn merge(&mut self, other: &VersionVector) {
+        assert_eq!(self.entries.len(), other.entries.len(), "version vector length mismatch");
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// Returns the component-wise maximum of `self` and `other`.
+    pub fn merged(&self, other: &VersionVector) -> VersionVector {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// True if every component of `self` is `>=` the matching component of
+    /// `other`.
+    pub fn dominates(&self, other: &VersionVector) -> bool {
+        self.entries.len() == other.entries.len()
+            && self.entries.iter().zip(&other.entries).all(|(a, b)| a >= b)
+    }
+
+    /// True if `self` dominates `other` and differs in at least one entry.
+    pub fn strictly_dominates(&self, other: &VersionVector) -> bool {
+        self.dominates(other) && self.entries != other.entries
+    }
+
+    /// Iterator over `(TableId, version)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, TableVersion)> + '_ {
+        self.entries.iter().enumerate().map(|(i, v)| (TableId(i as u16), *v))
+    }
+
+    /// Raw entries, table-indexed.
+    pub fn entries(&self) -> &[TableVersion] {
+        &self.entries
+    }
+
+    /// Sum of all components; handy as a cheap monotone progress measure.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().sum()
+    }
+}
+
+impl fmt::Display for VersionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V[")?;
+        for (i, v) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vv(e: &[u64]) -> VersionVector {
+        VersionVector::from_entries(e.to_vec())
+    }
+
+    #[test]
+    fn new_is_zero() {
+        let v = VersionVector::new(4);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.total(), 0);
+        assert!(v.iter().all(|(_, x)| x == 0));
+    }
+
+    #[test]
+    fn bump_is_monotone_per_table() {
+        let mut v = VersionVector::new(2);
+        assert_eq!(v.bump(TableId(1)), 1);
+        assert_eq!(v.bump(TableId(1)), 2);
+        assert_eq!(v.get(TableId(0)), 0);
+        assert_eq!(v.get(TableId(1)), 2);
+    }
+
+    #[test]
+    fn merge_is_componentwise_max() {
+        let mut a = vv(&[3, 1, 0]);
+        let b = vv(&[2, 5, 0]);
+        a.merge(&b);
+        assert_eq!(a, vv(&[3, 5, 0]));
+    }
+
+    #[test]
+    fn dominance_partial_order() {
+        let a = vv(&[2, 2]);
+        let b = vv(&[1, 3]);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        let m = a.merged(&b);
+        assert!(m.dominates(&a) && m.dominates(&b));
+        assert!(m.strictly_dominates(&a));
+        assert!(a.dominates(&a) && !a.strictly_dominates(&a));
+    }
+
+    #[test]
+    fn dominates_requires_equal_length() {
+        let a = vv(&[1, 2]);
+        let b = vv(&[1]);
+        assert!(!a.dominates(&b));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(vv(&[1, 0, 7]).to_string(), "V[1,0,7]");
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_length_mismatch_panics() {
+        let mut a = vv(&[1]);
+        a.merge(&vv(&[1, 2]));
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_vv(n: usize) -> impl Strategy<Value = VersionVector> {
+        proptest::collection::vec(0u64..1000, n).prop_map(VersionVector::from_entries)
+    }
+
+    proptest! {
+        #[test]
+        fn merge_commutative(a in arb_vv(5), b in arb_vv(5)) {
+            prop_assert_eq!(a.merged(&b), b.merged(&a));
+        }
+
+        #[test]
+        fn merge_associative(a in arb_vv(4), b in arb_vv(4), c in arb_vv(4)) {
+            prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+        }
+
+        #[test]
+        fn merge_idempotent(a in arb_vv(6)) {
+            prop_assert_eq!(a.merged(&a), a);
+        }
+
+        #[test]
+        fn merge_is_least_upper_bound(a in arb_vv(5), b in arb_vv(5)) {
+            let m = a.merged(&b);
+            prop_assert!(m.dominates(&a));
+            prop_assert!(m.dominates(&b));
+            // least: any other upper bound dominates m
+            let mut ub = a.clone();
+            ub.merge(&b);
+            prop_assert!(ub.dominates(&m) && m.dominates(&ub));
+        }
+
+        #[test]
+        fn bump_strictly_dominates(mut a in arb_vv(5), t in 0u16..5) {
+            let before = a.clone();
+            a.bump(TableId(t));
+            prop_assert!(a.strictly_dominates(&before));
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Lazy version materialization — the heart of Dynamic Multiversioning.
+//!
+//! Each slave keeps, per page, a FIFO queue of the byte diffs it has
+//! received from the master(s) but not yet applied. When a read-only
+//! transaction tagged with version vector `V` first touches a page, the
+//! applier applies exactly the queued diffs with version `≤ V[table]`,
+//! leaving later diffs queued: "the appropriate version for each
+//! individual data item is created dynamically and lazily at that slave
+//! replica, when needed by an in-progress read-only transaction".
+//!
+//! A page that has already been upgraded past `V[table]` (by a reader
+//! with a newer tag) cannot be rewound — old versions are not kept — so
+//! the transaction aborts with `VersionConflict`; the scheduler keeps
+//! such aborts rare by same-version routing.
+
+use crate::messages::WriteSet;
+use dmv_common::error::{DmvError, DmvResult};
+use dmv_common::ids::PageId;
+use dmv_common::version::VersionVector;
+use dmv_memdb::ReadGate;
+use dmv_pagestore::diff::PageDiff;
+use dmv_pagestore::store::{PageCell, PageStore};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+type PageQueue = Arc<Mutex<VecDeque<(u64, PageDiff)>>>;
+
+/// Per-replica pending-update state implementing [`ReadGate`].
+pub struct PendingApplier {
+    store: Arc<PageStore>,
+    queues: Mutex<HashMap<PageId, PageQueue>>,
+    received: Mutex<VersionVector>,
+    received_cv: Condvar,
+    /// Wall-clock bound on waiting for a not-yet-received version.
+    wait_timeout: Duration,
+    applied_writesets: AtomicU64,
+}
+
+impl PendingApplier {
+    /// Creates an applier over `store` covering `n_tables` tables.
+    pub fn new(store: Arc<PageStore>, n_tables: usize, wait_timeout: Duration) -> Self {
+        PendingApplier {
+            store,
+            queues: Mutex::new(HashMap::new()),
+            received: Mutex::new(VersionVector::new(n_tables)),
+            received_cv: Condvar::new(),
+            wait_timeout,
+            applied_writesets: AtomicU64::new(0),
+        }
+    }
+
+    fn queue_of(&self, id: PageId) -> PageQueue {
+        Arc::clone(self.queues.lock().entry(id).or_default())
+    }
+
+    /// Enqueues a received write-set: each page diff goes to its page's
+    /// queue (creating the page if the master allocated it), and the
+    /// received-version vector advances.
+    pub fn enqueue(&self, ws: &WriteSet) {
+        for (id, diff) in &ws.pages {
+            // Ensure the page exists so later reads/scans can see it.
+            let _ = self.store.get_or_create(*id);
+            let q = self.queue_of(*id);
+            q.lock().push_back((ws.versions.get(id.table), diff.clone()));
+        }
+        let mut received = self.received.lock();
+        received.merge(&ws.versions);
+        self.received_cv.notify_all();
+        self.applied_writesets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Highest version vector received so far.
+    pub fn received(&self) -> VersionVector {
+        self.received.lock().clone()
+    }
+
+    /// Write-sets enqueued so far.
+    pub fn enqueued_count(&self) -> u64 {
+        self.applied_writesets.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the replication stream has delivered everything up
+    /// to `tag`.
+    ///
+    /// # Errors
+    ///
+    /// [`DmvError::Network`] if the wait times out (e.g. the master died
+    /// mid-broadcast; reconfiguration will retry the transaction).
+    pub fn wait_received(&self, tag: &VersionVector) -> DmvResult<()> {
+        self.wait_received_for(tag, self.wait_timeout)
+    }
+
+    /// [`PendingApplier::wait_received`] with an explicit wall-clock
+    /// bound (data migration tolerates longer waits than page reads).
+    ///
+    /// # Errors
+    ///
+    /// [`DmvError::Network`] if the wait times out.
+    pub fn wait_received_for(&self, tag: &VersionVector, timeout: Duration) -> DmvResult<()> {
+        let deadline = Instant::now() + timeout;
+        let mut received = self.received.lock();
+        while !received.dominates(tag) {
+            if self.received_cv.wait_until(&mut received, deadline).timed_out() {
+                return Err(DmvError::Network(format!(
+                    "version {tag} not received (have {received})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies queued diffs of `cell` up to `want` (one table entry).
+    fn apply_up_to(&self, id: PageId, cell: &PageCell, want: u64) -> DmvResult<()> {
+        let q = self.queue_of(id);
+        let mut q = q.lock();
+        let mut page = cell.latch.write();
+        while let Some((v, _)) = q.front() {
+            if *v > want {
+                break;
+            }
+            let (v, diff) = q.pop_front().expect("front checked");
+            // Idempotence across migration: a page image received during
+            // data migration may already include this diff.
+            if v > page.version {
+                diff.apply(page.data_mut());
+                page.version = v;
+            }
+        }
+        if page.version > want {
+            return Err(DmvError::VersionConflict { page: id, wanted: want, found: page.version });
+        }
+        Ok(())
+    }
+
+    /// Applies *all* pending diffs of every page (used when promoting a
+    /// slave to master, and by a support slave before sending pages to a
+    /// joining node). Afterwards each page is at the replica's received
+    /// version for its table.
+    pub fn apply_all(&self) {
+        let ids: Vec<PageId> = self.queues.lock().keys().copied().collect();
+        for id in ids {
+            if let Some(cell) = self.store.get(id) {
+                let _ = self.apply_up_to(id, &cell, u64::MAX);
+            }
+        }
+    }
+
+    /// Fully applies one page's queue (support-slave side of migration).
+    pub fn apply_page(&self, id: PageId) {
+        if let Some(cell) = self.store.get(id) {
+            let _ = self.apply_up_to(id, &cell, u64::MAX);
+        }
+    }
+
+    /// Discards queued records with versions above `versions` — the
+    /// cleanup after a master failure, removing partially propagated
+    /// transactions the failed master never acknowledged (§4.2). Also
+    /// clamps the received vector so later waits don't trust ghosts.
+    pub fn discard_above(&self, versions: &VersionVector) {
+        let queues = self.queues.lock();
+        for (id, q) in queues.iter() {
+            let keep = versions.get(id.table);
+            q.lock().retain(|(v, _)| *v <= keep);
+        }
+        drop(queues);
+        let mut received = self.received.lock();
+        let clamped: Vec<u64> = received
+            .entries()
+            .iter()
+            .zip(versions.entries())
+            .map(|(r, k)| (*r).min(*k))
+            .collect();
+        *received = VersionVector::from_entries(clamped);
+    }
+
+    /// Advances the received vector to (at least) `to` without any
+    /// queued diffs — used when a joining node finishes data migration:
+    /// the transferred page images already embody every version up to
+    /// the migration target, so tagged reads at those versions must not
+    /// wait for a replication stream that will never resend them.
+    pub fn advance_received(&self, to: &VersionVector) {
+        let mut received = self.received.lock();
+        received.merge(to);
+        self.received_cv.notify_all();
+    }
+
+    /// Total queued (unapplied) diffs across all pages (diagnostics).
+    pub fn pending_count(&self) -> usize {
+        self.queues.lock().values().map(|q| q.lock().len()).sum()
+    }
+}
+
+impl ReadGate for PendingApplier {
+    fn prepare_read(&self, id: PageId, cell: &PageCell, tag: &VersionVector) -> DmvResult<()> {
+        let want = tag.get(id.table);
+        // Fast path: nothing pending and the page is current enough.
+        {
+            let page = cell.latch.read();
+            if page.version == want {
+                return Ok(());
+            }
+            if page.version > want {
+                return Err(DmvError::VersionConflict {
+                    page: id,
+                    wanted: want,
+                    found: page.version,
+                });
+            }
+        }
+        // The tag may reference versions still in flight.
+        let mut needed = VersionVector::new(tag.len());
+        needed.set(id.table, want);
+        self.wait_received(&needed)?;
+        self.apply_up_to(id, cell, want)
+    }
+}
+
+impl std::fmt::Debug for PendingApplier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingApplier")
+            .field("received", &format!("{}", self.received.lock()))
+            .field("pending", &self.pending_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmv_common::ids::{NodeId, TableId, TxnId};
+    use dmv_pagestore::PAGE_SIZE;
+
+    fn ws(seq: u64, table: u16, version: u64, page_no: u32, fill: u8) -> WriteSet {
+        let before = vec![0u8; PAGE_SIZE];
+        let mut after = before.clone();
+        after[0] = fill;
+        let mut versions = VersionVector::new(2);
+        versions.set(TableId(table), version);
+        WriteSet {
+            txn: TxnId::new(NodeId(0), seq),
+            versions,
+            pages: vec![(
+                PageId::heap(TableId(table), page_no),
+                PageDiff::compute(&before, &after),
+            )],
+        }
+    }
+
+    fn applier() -> (Arc<PageStore>, PendingApplier) {
+        let store = Arc::new(PageStore::new_free());
+        let a = PendingApplier::new(Arc::clone(&store), 2, Duration::from_millis(100));
+        (store, a)
+    }
+
+    #[test]
+    fn enqueue_creates_page_and_tracks_versions() {
+        let (store, a) = applier();
+        a.enqueue(&ws(1, 0, 1, 0, 10));
+        assert!(store.contains(PageId::heap(TableId(0), 0)));
+        assert_eq!(a.received().get(TableId(0)), 1);
+        assert_eq!(a.pending_count(), 1);
+        assert_eq!(a.enqueued_count(), 1);
+    }
+
+    #[test]
+    fn lazy_application_up_to_tag() {
+        let (store, a) = applier();
+        a.enqueue(&ws(1, 0, 1, 0, 10));
+        a.enqueue(&ws(2, 0, 2, 0, 20));
+        a.enqueue(&ws(3, 0, 3, 0, 30));
+        let id = PageId::heap(TableId(0), 0);
+        let cell = store.get(id).unwrap();
+        let mut tag = VersionVector::new(2);
+        tag.set(TableId(0), 2);
+        a.prepare_read(id, &cell, &tag).unwrap();
+        let page = cell.latch.read();
+        assert_eq!(page.version, 2);
+        assert_eq!(page.data()[0], 20, "only versions <= tag applied");
+        drop(page);
+        assert_eq!(a.pending_count(), 1, "version 3 still queued");
+    }
+
+    #[test]
+    fn conflict_when_page_upgraded_past_tag() {
+        let (store, a) = applier();
+        a.enqueue(&ws(1, 0, 1, 0, 10));
+        a.enqueue(&ws(2, 0, 2, 0, 20));
+        let id = PageId::heap(TableId(0), 0);
+        let cell = store.get(id).unwrap();
+        let mut new_tag = VersionVector::new(2);
+        new_tag.set(TableId(0), 2);
+        a.prepare_read(id, &cell, &new_tag).unwrap();
+        // now a reader with an older tag arrives
+        let mut old_tag = VersionVector::new(2);
+        old_tag.set(TableId(0), 1);
+        let err = a.prepare_read(id, &cell, &old_tag).unwrap_err();
+        assert!(matches!(err, DmvError::VersionConflict { wanted: 1, found: 2, .. }));
+    }
+
+    #[test]
+    fn wait_times_out_for_future_version() {
+        let (store, a) = applier();
+        a.enqueue(&ws(1, 0, 1, 0, 10));
+        let id = PageId::heap(TableId(0), 0);
+        let cell = store.get(id).unwrap();
+        let mut tag = VersionVector::new(2);
+        tag.set(TableId(0), 5);
+        let err = a.prepare_read(id, &cell, &tag).unwrap_err();
+        assert!(matches!(err, DmvError::Network(_)));
+    }
+
+    #[test]
+    fn wait_unblocks_when_version_arrives() {
+        let store = Arc::new(PageStore::new_free());
+        let a = Arc::new(PendingApplier::new(Arc::clone(&store), 2, Duration::from_secs(5)));
+        a.enqueue(&ws(1, 0, 1, 0, 10));
+        let a2 = Arc::clone(&a);
+        let h = std::thread::spawn(move || {
+            let mut tag = VersionVector::new(2);
+            tag.set(TableId(0), 2);
+            a2.wait_received(&tag)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        a.enqueue(&ws(2, 0, 2, 0, 20));
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn discard_above_removes_partial_broadcasts() {
+        let (store, a) = applier();
+        a.enqueue(&ws(1, 0, 1, 0, 10));
+        a.enqueue(&ws(2, 0, 2, 0, 20)); // will be discarded
+        let mut keep = VersionVector::new(2);
+        keep.set(TableId(0), 1);
+        a.discard_above(&keep);
+        assert_eq!(a.pending_count(), 1);
+        assert_eq!(a.received().get(TableId(0)), 1);
+        // applying everything now stops at version 1
+        a.apply_all();
+        let cell = store.get(PageId::heap(TableId(0), 0)).unwrap();
+        assert_eq!(cell.latch.read().version, 1);
+        assert_eq!(cell.latch.read().data()[0], 10);
+    }
+
+    #[test]
+    fn apply_all_catches_up_everything() {
+        let (store, a) = applier();
+        for v in 1..=5 {
+            a.enqueue(&ws(v, 0, v, 0, v as u8 * 10));
+        }
+        a.apply_all();
+        assert_eq!(a.pending_count(), 0);
+        let cell = store.get(PageId::heap(TableId(0), 0)).unwrap();
+        assert_eq!(cell.latch.read().version, 5);
+        assert_eq!(cell.latch.read().data()[0], 50);
+    }
+
+    #[test]
+    fn idempotent_application_after_migration_image() {
+        let (store, a) = applier();
+        a.enqueue(&ws(1, 0, 1, 0, 10));
+        a.enqueue(&ws(2, 0, 2, 0, 20));
+        // migration already delivered the page at version 2
+        let id = PageId::heap(TableId(0), 0);
+        let cell = store.get(id).unwrap();
+        {
+            let mut page = cell.latch.write();
+            page.version = 2;
+            page.data_mut()[0] = 20;
+        }
+        let mut tag = VersionVector::new(2);
+        tag.set(TableId(0), 2);
+        a.prepare_read(id, &cell, &tag).unwrap();
+        let page = cell.latch.read();
+        assert_eq!(page.version, 2);
+        assert_eq!(page.data()[0], 20, "stale diffs must not reapply");
+    }
+
+    #[test]
+    fn per_table_isolation() {
+        let (store, a) = applier();
+        a.enqueue(&ws(1, 0, 1, 0, 10));
+        a.enqueue(&ws(2, 1, 1, 0, 99));
+        let id0 = PageId::heap(TableId(0), 0);
+        let cell0 = store.get(id0).unwrap();
+        let mut tag = VersionVector::new(2);
+        tag.set(TableId(0), 1);
+        // table 1's version in the tag is 0; reading table 0 is fine
+        a.prepare_read(id0, &cell0, &tag).unwrap();
+        assert_eq!(cell0.latch.read().data()[0], 10);
+        // table 1's page remains unapplied
+        let id1 = PageId::heap(TableId(1), 0);
+        assert_eq!(store.get(id1).unwrap().latch.read().version, 0);
+    }
+}

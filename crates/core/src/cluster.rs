@@ -1,0 +1,811 @@
+//! Cluster orchestration: builds the in-memory tier, monitors it for
+//! failures, reconfigures on node death, reintegrates recovered nodes
+//! (data migration, §4.4) and exposes client sessions.
+
+use crate::messages::{Msg, PageBatch};
+use crate::replica::{ReplicaConfig, ReplicaNode};
+use crate::scheduler::{Scheduler, SchedulerConfig, Topology, WarmupStrategy};
+use dmv_common::clock::{SimClock, TimeScale};
+use dmv_common::config::{CpuProfile, DiskProfile, NetProfile};
+use dmv_common::error::{DmvError, DmvResult};
+use dmv_common::ids::{NodeId, ReplicaRole, TableId};
+use dmv_common::stats::TxnStats;
+use dmv_common::version::VersionVector;
+use dmv_ondisk::{DiskDb, DiskDbOptions};
+use dmv_simnet::Network;
+use dmv_sql::exec::{execute, ResultSet};
+use dmv_sql::query::Query;
+use dmv_sql::row::Row;
+use dmv_sql::schema::Schema;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Pages per migration batch message.
+const MIGRATION_BATCH_PAGES: usize = 64;
+
+/// Cluster construction parameters. All durations are paper time.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Database schema.
+    pub schema: Schema,
+    /// Active slaves serving reads.
+    pub n_slaves: usize,
+    /// Spare backups.
+    pub n_spares: usize,
+    /// Peer schedulers (≥ 1).
+    pub n_schedulers: usize,
+    /// On-disk persistence backends.
+    pub n_backends: usize,
+    /// Conflict classes: disjoint table sets, one master each. `None`
+    /// schedules all updates on a single master.
+    pub conflict_classes: Option<Vec<Vec<TableId>>>,
+    /// Paper-time → wall-time compression.
+    pub time_scale: TimeScale,
+    /// Interconnect model.
+    pub net: NetProfile,
+    /// Disk model (backends and page-in cost reference).
+    pub disk: DiskProfile,
+    /// CPU cost model for query execution.
+    pub cpu: CpuProfile,
+    /// Buffer pool pages per backend.
+    pub backend_buffer_pages: usize,
+    /// Page-in latency for a non-resident page of an in-memory replica
+    /// (the mmap fault behind the cache-warmup effects).
+    pub fault_latency: Duration,
+    /// Lock wait timeout (wall time).
+    pub lock_timeout: Duration,
+    /// Spare warmup strategy.
+    pub warmup: WarmupStrategy,
+    /// Fuzzy checkpoint period, if any.
+    pub checkpoint_period: Option<Duration>,
+    /// Failure-detector poll interval.
+    pub detect_interval: Duration,
+    /// Commit-path query-logging cost (§4.6).
+    pub log_latency: Duration,
+    /// Automatically activate a spare when an active node dies.
+    pub auto_activate_spares: bool,
+    /// Version-aware read routing (ablation toggle; paper default on).
+    pub same_version_routing: bool,
+}
+
+impl ClusterSpec {
+    /// A spec with realistic 2007-era cost models at the given scale.
+    pub fn new(schema: Schema, time_scale: TimeScale) -> Self {
+        ClusterSpec {
+            schema,
+            n_slaves: 1,
+            n_spares: 0,
+            n_schedulers: 1,
+            n_backends: 0,
+            conflict_classes: None,
+            time_scale,
+            net: NetProfile::lan_2007(),
+            disk: DiskProfile::commodity_2007(),
+            cpu: CpuProfile::athlon_2007(),
+            backend_buffer_pages: 512,
+            fault_latency: Duration::from_micros(8000),
+            lock_timeout: Duration::from_millis(300),
+            warmup: WarmupStrategy::None,
+            checkpoint_period: None,
+            detect_interval: Duration::from_secs(1),
+            log_latency: Duration::from_micros(500),
+            auto_activate_spares: true,
+            same_version_routing: true,
+        }
+    }
+
+    /// A zero-cost spec for fast logic tests.
+    pub fn fast_test(schema: Schema) -> Self {
+        let mut s = Self::new(schema, TimeScale::realtime());
+        s.net = NetProfile::zero();
+        s.cpu = CpuProfile::zero();
+        s.disk = DiskProfile::fast_ssd();
+        s.fault_latency = Duration::ZERO;
+        s.detect_interval = Duration::from_millis(20);
+        s.log_latency = Duration::ZERO;
+        s
+    }
+}
+
+/// Result of a node reintegration (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationReport {
+    /// Pages transferred from the support slave.
+    pub pages: usize,
+    /// Bytes transferred.
+    pub bytes: usize,
+    /// Paper-time duration of the catch-up.
+    pub duration: Duration,
+}
+
+/// The running DMV cluster: in-memory tier + schedulers + backends.
+pub struct DmvCluster {
+    clock: SimClock,
+    net: Network<Msg>,
+    spec: ClusterSpec,
+    replicas: RwLock<HashMap<NodeId, Arc<ReplicaNode>>>,
+    schedulers: Vec<Arc<Scheduler>>,
+    backends: Vec<Arc<DiskDb>>,
+    handled_failures: Mutex<HashSet<NodeId>>,
+    shutdown: Arc<AtomicBool>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    ready: AtomicBool,
+    next_node_id: Mutex<u32>,
+}
+
+impl DmvCluster {
+    /// Builds the cluster in *loading* state: nodes exist but replication
+    /// targets are not wired. Call [`DmvCluster::load_rows`] to populate,
+    /// then [`DmvCluster::finish_load`] to go live.
+    pub fn start(spec: ClusterSpec) -> Arc<Self> {
+        let clock = SimClock::new(spec.time_scale);
+        let net: Network<Msg> = Network::new(spec.net, clock);
+        let n_tables = spec.schema.len();
+        let classes: Vec<Vec<TableId>> = spec.conflict_classes.clone().unwrap_or_else(|| {
+            vec![(0..n_tables as u16).map(TableId).collect()]
+        });
+        let rc = ReplicaConfig {
+            clock,
+            cpu: spec.cpu,
+            fault_latency: spec.fault_latency,
+            lock_timeout: spec.lock_timeout,
+            ack_timeout: Duration::from_secs(2),
+        };
+        let mut replicas = HashMap::new();
+        let mut masters = Vec::new();
+        for i in 0..classes.len() {
+            let id = NodeId(i as u32);
+            let node =
+                ReplicaNode::start(id, spec.schema.clone(), ReplicaRole::Master, net.clone(), rc.clone());
+            replicas.insert(id, Arc::clone(&node));
+            masters.push(node);
+        }
+        let mut slaves = Vec::new();
+        for i in 0..spec.n_slaves {
+            let id = NodeId(10 + i as u32);
+            let node =
+                ReplicaNode::start(id, spec.schema.clone(), ReplicaRole::Slave, net.clone(), rc.clone());
+            replicas.insert(id, Arc::clone(&node));
+            slaves.push(node);
+        }
+        let mut spares = Vec::new();
+        for i in 0..spec.n_spares {
+            let id = NodeId(50 + i as u32);
+            let node = ReplicaNode::start(
+                id,
+                spec.schema.clone(),
+                ReplicaRole::SpareBackup,
+                net.clone(),
+                rc.clone(),
+            );
+            replicas.insert(id, Arc::clone(&node));
+            spares.push(node);
+        }
+        let backends: Vec<Arc<DiskDb>> = (0..spec.n_backends)
+            .map(|i| {
+                Arc::new(DiskDb::new(
+                    spec.schema.clone(),
+                    DiskDbOptions {
+                        node: NodeId(200 + i as u32),
+                        disk: spec.disk,
+                        cpu: spec.cpu,
+                        clock,
+                        buffer_pages: spec.backend_buffer_pages,
+                        lock_timeout: spec.lock_timeout,
+                    },
+                ))
+            })
+            .collect();
+        let topo = Topology { masters, classes, slaves, spares };
+        let sched_cfg = SchedulerConfig {
+            clock,
+            net: spec.net,
+            log_latency: spec.log_latency,
+            warmup: spec.warmup,
+            same_version_routing: spec.same_version_routing,
+        };
+        let schedulers: Vec<Arc<Scheduler>> = (0..spec.n_schedulers.max(1))
+            .map(|i| {
+                Scheduler::new(
+                    NodeId(100 + i as u32),
+                    n_tables,
+                    topo.clone(),
+                    backends.clone(),
+                    net.clone(),
+                    sched_cfg.clone(),
+                )
+            })
+            .collect();
+        Arc::new(DmvCluster {
+            clock,
+            net,
+            spec,
+            replicas: RwLock::new(replicas),
+            schedulers,
+            backends,
+            handled_failures: Mutex::new(HashSet::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            threads: Mutex::new(Vec::new()),
+            ready: AtomicBool::new(false),
+            next_node_id: Mutex::new(80),
+        })
+    }
+
+    /// Bulk-loads rows into the appropriate master, bypassing
+    /// replication (the initial state is distributed by page copy in
+    /// [`DmvCluster::finish_load`], modeling every node mmap-ing the same
+    /// on-disk database).
+    ///
+    /// # Errors
+    ///
+    /// Propagates insert errors (duplicate keys, schema violations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`DmvCluster::finish_load`].
+    pub fn load_rows(&self, table: TableId, rows: Vec<Row>) -> DmvResult<()> {
+        assert!(!self.ready.load(Ordering::Acquire), "cluster already live");
+        let topo = self.schedulers[0].topology();
+        let class = topo
+            .classes
+            .iter()
+            .position(|c| c.contains(&table))
+            .unwrap_or(0);
+        let master = &topo.masters[class];
+        for chunk in rows.chunks(256) {
+            let mut txn = master.db().begin_update();
+            for row in chunk {
+                match execute(
+                    &mut txn,
+                    &Query::Insert { table, rows: vec![row.clone()] },
+                ) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        txn.abort();
+                        return Err(e);
+                    }
+                }
+            }
+            txn.commit(None);
+        }
+        Ok(())
+    }
+
+    /// Finishes loading: copies the masters' pages onto every replica
+    /// (the shared initial database image), wires replication targets,
+    /// and starts the failure monitor and checkpoint threads.
+    pub fn finish_load(self: &Arc<Self>) {
+        let topo = self.schedulers[0].topology();
+        for master in &topo.masters {
+            for other in topo.all() {
+                if other.id() != master.id() {
+                    other.clone_pages_from(master);
+                }
+            }
+        }
+        for master in &topo.masters {
+            let targets: Vec<NodeId> = topo
+                .all()
+                .iter()
+                .filter(|r| r.id() != master.id())
+                .map(|r| r.id())
+                .collect();
+            master.set_targets(targets);
+        }
+        // Baseline checkpoint so reintegration always has a floor.
+        for r in topo.all() {
+            r.take_checkpoint();
+        }
+        self.ready.store(true, Ordering::Release);
+        self.start_monitor();
+        if self.spec.checkpoint_period.is_some() {
+            self.start_checkpointer();
+        }
+    }
+
+    /// Sleeps up to `total`, waking early (and returning true) when the
+    /// shutdown flag is raised — keeps long periods joinable.
+    fn interruptible_sleep(shutdown: &AtomicBool, total: Duration) -> bool {
+        let mut left = total;
+        while !left.is_zero() {
+            if shutdown.load(Ordering::Acquire) {
+                return true;
+            }
+            let step = left.min(Duration::from_millis(25));
+            std::thread::sleep(step);
+            left -= step;
+        }
+        shutdown.load(Ordering::Acquire)
+    }
+
+    fn start_monitor(self: &Arc<Self>) {
+        let weak = Arc::downgrade(self);
+        let shutdown = Arc::clone(&self.shutdown);
+        let interval = self.clock.scale().to_wall(self.spec.detect_interval);
+        let interval = interval.max(Duration::from_millis(5));
+        let h = std::thread::Builder::new()
+            .name("dmv-monitor".into())
+            .spawn(move || loop {
+                if Self::interruptible_sleep(&shutdown, interval) {
+                    break;
+                }
+                let Some(cluster) = weak.upgrade() else { break };
+                cluster.detect_and_reconfigure();
+            })
+            .expect("spawn monitor");
+        self.threads.lock().push(h);
+    }
+
+    fn start_checkpointer(self: &Arc<Self>) {
+        let weak = Arc::downgrade(self);
+        let shutdown = Arc::clone(&self.shutdown);
+        let period = self
+            .clock
+            .scale()
+            .to_wall(self.spec.checkpoint_period.expect("checked"))
+            .max(Duration::from_millis(10));
+        let h = std::thread::Builder::new()
+            .name("dmv-checkpoint".into())
+            .spawn(move || loop {
+                if Self::interruptible_sleep(&shutdown, period) {
+                    break;
+                }
+                let Some(cluster) = weak.upgrade() else { break };
+                for r in cluster.schedulers[0].topology().all() {
+                    if r.is_alive() {
+                        r.take_checkpoint();
+                    }
+                }
+            })
+            .expect("spawn checkpointer");
+        self.threads.lock().push(h);
+    }
+
+    /// One failure-detector sweep: finds newly dead replicas and runs the
+    /// §4.1–4.3 reconfiguration. Public so experiments can force
+    /// immediate detection instead of waiting out the poll interval.
+    pub fn detect_and_reconfigure(&self) {
+        let topo = self.schedulers[0].topology();
+        let mut handled = self.handled_failures.lock();
+        let dead: Vec<Arc<ReplicaNode>> = topo
+            .all()
+            .into_iter()
+            .filter(|r| !r.is_alive() && !handled.contains(&r.id()))
+            .collect();
+        for node in dead {
+            handled.insert(node.id());
+            let was_master = topo.masters.iter().any(|m| m.id() == node.id());
+            if was_master {
+                // Let the primary scheduler drive promotion, then mirror
+                // the new topology onto the peers.
+                if let Ok(new_master) =
+                    self.schedulers[0].handle_master_failure(node.id(), None)
+                {
+                    for s in &self.schedulers[1..] {
+                        s.set_topology(self.schedulers[0].topology());
+                        s.recover_from_masters();
+                    }
+                    let _ = new_master; // promoted
+                }
+            } else {
+                for s in &self.schedulers {
+                    s.handle_slave_failure(node.id());
+                }
+            }
+            if self.spec.auto_activate_spares {
+                let spare_id = self.schedulers[0]
+                    .topology()
+                    .spares
+                    .iter()
+                    .find(|s| s.is_alive())
+                    .map(|s| s.id());
+                if let Some(id) = spare_id {
+                    for s in &self.schedulers {
+                        s.activate_spare(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cluster clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock
+    }
+
+    /// The network fabric (for fault injection in tests).
+    pub fn net(&self) -> &Network<Msg> {
+        &self.net
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.spec.schema
+    }
+
+    /// A replica by id.
+    pub fn replica(&self, id: NodeId) -> Option<Arc<ReplicaNode>> {
+        self.replicas.read().get(&id).cloned()
+    }
+
+    /// The current master of conflict class `class`.
+    pub fn master(&self, class: usize) -> Arc<ReplicaNode> {
+        Arc::clone(&self.schedulers[0].topology().masters[class])
+    }
+
+    /// Ids of the current active slaves.
+    pub fn slave_ids(&self) -> Vec<NodeId> {
+        self.schedulers[0].topology().slaves.iter().map(|s| s.id()).collect()
+    }
+
+    /// Ids of the current spares.
+    pub fn spare_ids(&self) -> Vec<NodeId> {
+        self.schedulers[0].topology().spares.iter().map(|s| s.id()).collect()
+    }
+
+    /// The persistence backends.
+    pub fn backends(&self) -> &[Arc<DiskDb>] {
+        &self.backends
+    }
+
+    /// Merged transaction statistics across schedulers.
+    pub fn stats(&self) -> Vec<Arc<TxnStats>> {
+        self.schedulers.iter().map(|s| Arc::clone(&s.stats)).collect()
+    }
+
+    /// Total version-conflict abort rate across schedulers.
+    pub fn version_abort_rate(&self) -> f64 {
+        let (mut aborts, mut attempts) = (0u64, 0u64);
+        for s in &self.schedulers {
+            aborts += s.stats.version_aborts.get();
+            attempts += s.stats.attempts();
+        }
+        if attempts == 0 {
+            0.0
+        } else {
+            aborts as f64 / attempts as f64
+        }
+    }
+
+    /// A client session (scheduler fail-over is handled inside).
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session { cluster: Arc::clone(self) }
+    }
+
+    fn alive_scheduler(&self) -> DmvResult<Arc<Scheduler>> {
+        self.schedulers
+            .iter()
+            .find(|s| s.is_alive())
+            .cloned()
+            .ok_or(DmvError::NoReplicaAvailable)
+    }
+
+    /// Kills a replica node (fail-stop). The monitor reconfigures within
+    /// the detection interval.
+    pub fn kill_replica(&self, id: NodeId) {
+        if let Some(node) = self.replica(id) {
+            node.kill();
+        }
+    }
+
+    /// Kills scheduler `i`; a peer takes over (§4.1) by recovering the
+    /// latest versions from the masters.
+    pub fn kill_scheduler(&self, i: usize) {
+        self.schedulers[i].kill();
+        if let Some(peer) = self.schedulers.iter().find(|s| s.is_alive()) {
+            peer.set_topology(self.schedulers[i].topology());
+            peer.recover_from_masters();
+        }
+    }
+
+    /// Reintegrates a previously failed node (§4.4): restores its last
+    /// checkpoint from local stable storage, subscribes it to the
+    /// masters, transfers only the pages newer than its checkpoint from a
+    /// support slave, and adds it back as a slave.
+    ///
+    /// # Errors
+    ///
+    /// `NoSuchNode` for an unknown id; `NoReplicaAvailable` if no support
+    /// slave exists; network errors if migration stalls.
+    pub fn reintegrate(&self, id: NodeId) -> DmvResult<MigrationReport> {
+        let old = self.replica(id).ok_or(DmvError::NoSuchNode(id))?;
+        let checkpoint = old.checkpoint();
+        let rc = ReplicaConfig {
+            clock: self.clock,
+            cpu: self.spec.cpu,
+            fault_latency: self.spec.fault_latency,
+            lock_timeout: self.spec.lock_timeout,
+            ack_timeout: Duration::from_secs(2),
+        };
+        let node = ReplicaNode::start(
+            id,
+            self.spec.schema.clone(),
+            ReplicaRole::Slave,
+            self.net.clone(),
+            rc,
+        );
+        node.restore_from_checkpoint(&checkpoint);
+        self.replicas.write().insert(id, Arc::clone(&node));
+        self.integrate_node(node, checkpoint.page_versions())
+    }
+
+    /// Integrates a brand-new node (never part of the cluster) as a
+    /// slave: a worst-case migration where every page is transferred.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DmvCluster::reintegrate`].
+    pub fn integrate_fresh_node(&self) -> DmvResult<(NodeId, MigrationReport)> {
+        let id = {
+            let mut next = self.next_node_id.lock();
+            let id = NodeId(*next);
+            *next += 1;
+            id
+        };
+        let rc = ReplicaConfig {
+            clock: self.clock,
+            cpu: self.spec.cpu,
+            fault_latency: self.spec.fault_latency,
+            lock_timeout: self.spec.lock_timeout,
+            ack_timeout: Duration::from_secs(2),
+        };
+        let node = ReplicaNode::start(
+            id,
+            self.spec.schema.clone(),
+            ReplicaRole::Slave,
+            self.net.clone(),
+            rc,
+        );
+        self.replicas.write().insert(id, Arc::clone(&node));
+        let report = self.integrate_node(node, HashMap::new())?;
+        Ok((id, report))
+    }
+
+    fn integrate_node(
+        &self,
+        node: Arc<ReplicaNode>,
+        joiner_versions: HashMap<dmv_common::ids::PageId, u64>,
+    ) -> DmvResult<MigrationReport> {
+        let t0 = self.clock.now_paper();
+        let topo = self.schedulers[0].topology();
+        // 1. Subscribe to the replication list of every master, obtaining
+        //    the current DBVersion.
+        let mut target = VersionVector::new(self.spec.schema.len());
+        for m in topo.masters.iter().filter(|m| m.is_alive()) {
+            target.merge(&m.subscribe(node.id()));
+        }
+        // 2. Support slave: any active slave.
+        let support = topo
+            .slaves
+            .iter()
+            .find(|s| s.is_alive() && s.id() != node.id())
+            .cloned()
+            .ok_or(DmvError::NoReplicaAvailable)?;
+        // 3. Selective page transfer: only pages newer than the joiner's
+        //    checkpointed versions.
+        let pages = support.collect_pages_newer(&joiner_versions, &target)?;
+        let total_pages = pages.len();
+        let mut total_bytes = 0usize;
+        let mut batches: Vec<PageBatch> = pages
+            .chunks(MIGRATION_BATCH_PAGES)
+            .map(|c| PageBatch { pages: c.to_vec(), done: false })
+            .collect();
+        if batches.is_empty() {
+            batches.push(PageBatch { pages: Vec::new(), done: true });
+        } else {
+            batches.last_mut().expect("nonempty").done = true;
+        }
+        for b in batches {
+            let msg = Msg::PageBatch(b);
+            let size = msg.encoded_len();
+            total_bytes += size;
+            self.net.send_external(support.id(), node.id(), msg, size)?;
+        }
+        node.wait_migration_done(Duration::from_secs(30))?;
+        // The transferred images embody everything up to `target`; the
+        // live stream covers everything after. Reads tagged ≤ target
+        // must not wait for stream records that predate the subscription.
+        node.applier().advance_received(&target);
+        // 4. Back into the computation as a slave.
+        for s in &self.schedulers {
+            s.add_slave(Arc::clone(&node));
+        }
+        self.handled_failures.lock().remove(&node.id());
+        let duration = self.clock.now_paper() - t0;
+        Ok(MigrationReport { pages: total_pages, bytes: total_bytes, duration })
+    }
+
+    /// Clean shutdown: stops monitor/checkpoint threads, receiver
+    /// threads and scheduler feeds (draining queued backend batches).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        for h in self.threads.lock().drain(..) {
+            let _ = h.join();
+        }
+        for s in &self.schedulers {
+            s.shutdown();
+        }
+        for r in self.replicas.read().values() {
+            r.shutdown();
+        }
+    }
+}
+
+impl std::fmt::Debug for DmvCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DmvCluster")
+            .field("replicas", &self.replicas.read().len())
+            .field("schedulers", &self.schedulers.len())
+            .field("backends", &self.backends.len())
+            .finish()
+    }
+}
+
+impl Drop for DmvCluster {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for h in self.threads.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A client connection to the cluster: routes through the first alive
+/// scheduler and offers retry helpers for the retryable abort classes.
+#[derive(Clone)]
+pub struct Session {
+    cluster: Arc<DmvCluster>,
+}
+
+impl Session {
+    /// Runs an update transaction (no retry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler/master errors.
+    pub fn update(&self, queries: &[Query]) -> DmvResult<Vec<ResultSet>> {
+        self.cluster.alive_scheduler()?.run_update(queries)
+    }
+
+    /// Runs a read-only transaction (no retry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler/slave errors.
+    pub fn read(&self, queries: &[Query]) -> DmvResult<Vec<ResultSet>> {
+        self.cluster.alive_scheduler()?.run_read(queries)
+    }
+
+    /// Runs an update transaction driven by a statement closure.
+    /// `tables` declares the tables the transaction accesses (conflict-
+    /// class routing information; the paper's scheduler is pre-configured
+    /// with this per transaction type).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler/master errors.
+    pub fn update_with(
+        &self,
+        tables: &[TableId],
+        f: &mut dyn FnMut(&mut dyn dmv_sql::StatementRunner) -> DmvResult<()>,
+    ) -> DmvResult<()> {
+        self.cluster.alive_scheduler()?.run_update_with(tables, f)
+    }
+
+    /// Runs a read-only transaction driven by a statement closure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler/slave errors.
+    pub fn read_with(
+        &self,
+        f: &mut dyn FnMut(&mut dyn dmv_sql::StatementRunner) -> DmvResult<()>,
+    ) -> DmvResult<()> {
+        self.cluster.alive_scheduler()?.run_read_with(f)
+    }
+
+    /// Closure form of [`Session::update_retry`]. The closure must be
+    /// re-runnable: an aborted attempt rolls back completely before the
+    /// retry.
+    ///
+    /// # Errors
+    ///
+    /// The last error if retries are exhausted.
+    pub fn update_with_retry(
+        &self,
+        tables: &[TableId],
+        f: &mut dyn FnMut(&mut dyn dmv_sql::StatementRunner) -> DmvResult<()>,
+        retries: usize,
+    ) -> DmvResult<()> {
+        let mut last = None;
+        for attempt in 0..=retries {
+            if attempt > 0 {
+                dmv_common::rng::retry_backoff(attempt);
+            }
+            match self.update_with(tables, f) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Closure form of [`Session::read_retry`].
+    ///
+    /// # Errors
+    ///
+    /// The last error if retries are exhausted.
+    pub fn read_with_retry(
+        &self,
+        f: &mut dyn FnMut(&mut dyn dmv_sql::StatementRunner) -> DmvResult<()>,
+        retries: usize,
+    ) -> DmvResult<()> {
+        let mut last = None;
+        for attempt in 0..=retries {
+            if attempt > 0 {
+                dmv_common::rng::retry_backoff(attempt);
+            }
+            match self.read_with(f) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Runs an update, retrying retryable aborts up to `retries` times.
+    ///
+    /// # Errors
+    ///
+    /// The last error if retries are exhausted.
+    pub fn update_retry(&self, queries: &[Query], retries: usize) -> DmvResult<Vec<ResultSet>> {
+        let mut last = None;
+        for attempt in 0..=retries {
+            if attempt > 0 {
+                dmv_common::rng::retry_backoff(attempt);
+            }
+            match self.update(queries) {
+                Ok(r) => return Ok(r),
+                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Runs a read, retrying retryable aborts up to `retries` times.
+    ///
+    /// # Errors
+    ///
+    /// The last error if retries are exhausted.
+    pub fn read_retry(&self, queries: &[Query], retries: usize) -> DmvResult<Vec<ResultSet>> {
+        let mut last = None;
+        for attempt in 0..=retries {
+            if attempt > 0 {
+                dmv_common::rng::retry_backoff(attempt);
+            }
+            match self.read(queries) {
+                Ok(r) => return Ok(r),
+                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// The owning cluster.
+    pub fn cluster(&self) -> &Arc<DmvCluster> {
+        &self.cluster
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").finish_non_exhaustive()
+    }
+}

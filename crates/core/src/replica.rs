@@ -1,0 +1,611 @@
+//! A replica of the in-memory tier: one `MemDb` plus its replication
+//! machinery. The same node type plays every role — master (update
+//! execution, pre-commit broadcast), active slave (tagged reads), spare
+//! backup (stream subscription only) — and changes role during
+//! reconfiguration, exactly as the paper's nodes do.
+
+use crate::applier::PendingApplier;
+use crate::messages::{Msg, PageBatch, WriteSet};
+use dmv_common::clock::SimClock;
+use dmv_common::config::CpuProfile;
+use dmv_common::error::{DmvError, DmvResult};
+use dmv_common::ids::{NodeId, PageId, ReplicaRole, TxnId};
+use dmv_common::version::VersionVector;
+use dmv_memdb::{MemDb, MemDbOptions};
+use dmv_pagestore::checkpoint::{fuzzy_checkpoint, CheckpointImage};
+use dmv_pagestore::store::Residency;
+use dmv_simnet::Network;
+use dmv_sql::exec::{execute, ResultSet, StatementRunner};
+use dmv_sql::query::Query;
+use dmv_sql::schema::Schema;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for one replica node.
+#[derive(Clone)]
+pub struct ReplicaConfig {
+    /// Clock shared by the whole cluster.
+    pub clock: SimClock,
+    /// CPU cost model for query execution.
+    pub cpu: CpuProfile,
+    /// Page-in latency (mmap fault) for non-resident pages.
+    pub fault_latency: Duration,
+    /// Lock wait timeout (wall).
+    pub lock_timeout: Duration,
+    /// Bound on waiting for replication acks / missing versions (wall).
+    pub ack_timeout: Duration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            clock: SimClock::default(),
+            cpu: CpuProfile::zero(),
+            fault_latency: Duration::ZERO,
+            lock_timeout: Duration::from_millis(250),
+            ack_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Counters exposed by a replica.
+#[derive(Debug, Default)]
+pub struct ReplicaStats {
+    /// Update transactions committed (as master).
+    pub commits: AtomicU64,
+    /// Read-only transactions served (as slave).
+    pub reads: AtomicU64,
+    /// Reads aborted by version inconsistency on this node.
+    pub version_aborts: AtomicU64,
+}
+
+/// A [`StatementRunner`] bound to one open transaction on a replica,
+/// failing fast if the node is killed mid-transaction.
+struct NodeRunner<'a, 'db> {
+    node: &'a ReplicaNode,
+    inner: &'a mut dmv_memdb::Txn<'db>,
+}
+
+impl StatementRunner for NodeRunner<'_, '_> {
+    fn run(&mut self, q: &Query) -> DmvResult<ResultSet> {
+        if !self.node.is_alive() {
+            return Err(DmvError::NodeFailed(self.node.id));
+        }
+        execute(self.inner, q)
+    }
+}
+
+/// One in-memory database replica.
+pub struct ReplicaNode {
+    id: NodeId,
+    db: Arc<MemDb>,
+    applier: Arc<PendingApplier>,
+    net: Network<Msg>,
+    clock: SimClock,
+    role: RwLock<ReplicaRole>,
+    alive: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    // master state
+    dbversion: Mutex<VersionVector>,
+    commit_seq: Mutex<()>,
+    targets: RwLock<Vec<NodeId>>,
+    acks: Mutex<HashMap<TxnId, HashSet<NodeId>>>,
+    acks_cv: Condvar,
+    ack_timeout: Duration,
+    // migration (joiner side)
+    migration_done: Mutex<bool>,
+    migration_cv: Condvar,
+    // checkpointing
+    checkpoint: Mutex<CheckpointImage>,
+    /// Operation counters.
+    pub stats: ReplicaStats,
+    receiver: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ReplicaNode {
+    /// Creates a replica, registers it on the network and starts its
+    /// receiver thread.
+    pub fn start(
+        id: NodeId,
+        schema: Schema,
+        role: ReplicaRole,
+        net: Network<Msg>,
+        cfg: ReplicaConfig,
+    ) -> Arc<Self> {
+        let residency = Residency::new(cfg.clock, cfg.fault_latency);
+        let db = Arc::new(MemDb::new(
+            schema.clone(),
+            MemDbOptions {
+                node: id,
+                residency,
+                cpu: cfg.cpu,
+                clock: cfg.clock,
+                lock_timeout: cfg.lock_timeout,
+                cpu_permits: 2,
+            },
+        ));
+        let applier = Arc::new(PendingApplier::new(
+            Arc::clone(db.store()),
+            schema.len(),
+            cfg.ack_timeout,
+        ));
+        db.set_gate(Arc::clone(&applier) as Arc<dyn dmv_memdb::ReadGate>);
+        let node = Arc::new(ReplicaNode {
+            id,
+            db,
+            applier,
+            net: net.clone(),
+            clock: cfg.clock,
+            role: RwLock::new(role),
+            alive: Arc::new(AtomicBool::new(true)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            dbversion: Mutex::new(VersionVector::new(schema.len())),
+            commit_seq: Mutex::new(()),
+            targets: RwLock::new(Vec::new()),
+            acks: Mutex::new(HashMap::new()),
+            acks_cv: Condvar::new(),
+            ack_timeout: cfg.ack_timeout,
+            migration_done: Mutex::new(false),
+            migration_cv: Condvar::new(),
+            checkpoint: Mutex::new(CheckpointImage::empty()),
+            stats: ReplicaStats::default(),
+            receiver: Mutex::new(None),
+        });
+        let endpoint = net.register(id);
+        let weak = Arc::downgrade(&node);
+        let handle = std::thread::Builder::new()
+            .name(format!("replica-{id}"))
+            .spawn(move || {
+                while let Some(node) = weak.upgrade() {
+                    if node.shutdown.load(Ordering::Acquire) || !endpoint.is_alive() {
+                        break;
+                    }
+                    match endpoint.recv_timeout(Duration::from_millis(20)) {
+                        Ok(env) => node.handle_msg(env.from, env.msg, &endpoint),
+                        Err(DmvError::NodeFailed(_)) => break,
+                        Err(_) => {} // timeout: loop
+                    }
+                    drop(node);
+                }
+            })
+            .expect("spawn receiver");
+        *node.receiver.lock() = Some(handle);
+        node
+    }
+
+    fn handle_msg(&self, from: NodeId, msg: Msg, endpoint: &dmv_simnet::Endpoint<Msg>) {
+        match msg {
+            Msg::WriteSet(ws) => {
+                let txn = ws.txn;
+                self.applier.enqueue(&ws);
+                let ack = Msg::WriteSetAck { txn };
+                let size = ack.encoded_len();
+                let _ = endpoint.send(from, ack, size);
+            }
+            Msg::WriteSetAck { txn } => {
+                self.acks.lock().entry(txn).or_default().insert(from);
+                self.acks_cv.notify_all();
+            }
+            Msg::PageBatch(batch) => {
+                self.apply_page_batch(&batch);
+                if batch.done {
+                    *self.migration_done.lock() = true;
+                    self.migration_cv.notify_all();
+                }
+            }
+            Msg::PageIdHint { pages } => {
+                // Touch the hinted pages so they stay swapped in (§4.5).
+                let store = self.db.store();
+                for id in pages {
+                    if let Some(cell) = store.get(id) {
+                        store.fault_in(&cell);
+                    }
+                }
+            }
+            Msg::DiscardAbove { versions } => {
+                self.applier.discard_above(&versions);
+            }
+            Msg::Topology { .. } => {}
+        }
+    }
+
+    fn apply_page_batch(&self, batch: &PageBatch) {
+        let store = self.db.store();
+        for (id, version, image) in &batch.pages {
+            let cell = store.get_or_create(*id);
+            let mut page = cell.latch.write();
+            if *version > page.version {
+                page.data_mut().copy_from_slice(image);
+                page.version = *version;
+            }
+            drop(page);
+            // Migrated pages arrive over the network into memory.
+            cell.set_resident(true);
+        }
+    }
+
+    /// The node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's database.
+    pub fn db(&self) -> &Arc<MemDb> {
+        &self.db
+    }
+
+    /// The node's pending-update applier.
+    pub fn applier(&self) -> &Arc<PendingApplier> {
+        &self.applier
+    }
+
+    /// Current role.
+    pub fn role(&self) -> ReplicaRole {
+        *self.role.read()
+    }
+
+    /// Sets the role (used by reconfiguration).
+    pub fn set_role(&self, role: ReplicaRole) {
+        *self.role.write() = role;
+    }
+
+    /// True until killed.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Replication targets of this master.
+    pub fn targets(&self) -> Vec<NodeId> {
+        self.targets.read().clone()
+    }
+
+    /// Replaces the replication target list (on a master).
+    pub fn set_targets(&self, t: Vec<NodeId>) {
+        *self.targets.write() = t;
+    }
+
+    /// Adds a replication target, returning the current database version
+    /// vector as of a point where no broadcast is in flight — the join
+    /// protocol's "subscribe and obtain the current DBVersion" step.
+    pub fn subscribe(&self, node: NodeId) -> VersionVector {
+        let _g = self.commit_seq.lock();
+        let mut t = self.targets.write();
+        if !t.contains(&node) {
+            t.push(node);
+        }
+        self.dbversion.lock().clone()
+    }
+
+    /// Removes a replication target.
+    pub fn unsubscribe(&self, node: NodeId) {
+        self.targets.write().retain(|n| *n != node);
+    }
+
+    /// The master's current database version vector.
+    pub fn dbversion(&self) -> VersionVector {
+        self.dbversion.lock().clone()
+    }
+
+    /// Executes an update transaction as master via a statement-driving
+    /// closure (later statements may depend on earlier results): run
+    /// under 2PL, then the Figure 2 pre-commit sequence (write-set,
+    /// atomic version increment, broadcast, ack wait), then local commit
+    /// and lock release. Returns the new version vector.
+    ///
+    /// # Errors
+    ///
+    /// Statement errors abort the transaction; `NodeFailed` if this node
+    /// is killed mid-transaction (its effects are discarded).
+    pub fn execute_update_with(
+        &self,
+        f: &mut dyn FnMut(&mut dyn StatementRunner) -> DmvResult<()>,
+    ) -> DmvResult<VersionVector> {
+        if !self.is_alive() {
+            return Err(DmvError::NodeFailed(self.id));
+        }
+        let mut txn = self.db.begin_update();
+        {
+            let mut runner = NodeRunner { node: self, inner: &mut txn };
+            if let Err(e) = f(&mut runner) {
+                txn.abort();
+                return Err(e);
+            }
+        }
+        if !txn.has_writes() {
+            txn.commit(None);
+            return Ok(self.dbversion());
+        }
+        // Pre-commit (Figure 2): all page locks are held throughout.
+        let (ws, new_v, targets_now) = {
+            let _g = self.commit_seq.lock();
+            let pages = txn.precommit();
+            let mut dbv = self.dbversion.lock();
+            for t in txn.write_tables() {
+                dbv.bump(t);
+            }
+            let new_v = dbv.clone();
+            drop(dbv);
+            let ws = WriteSet { txn: txn.id(), versions: new_v.clone(), pages };
+            let targets_now = self.targets.read().clone();
+            let size = ws.encoded_len();
+            for r in &targets_now {
+                // A dead target is skipped; reconfiguration handles it.
+                let _ = self.net.send_external(self.id, *r, Msg::WriteSet(ws.clone()), size);
+            }
+            (ws, new_v, targets_now)
+        };
+        self.wait_for_acks(ws.txn, &targets_now);
+        if !self.is_alive() {
+            // Failed before confirming: a new master will tell replicas to
+            // discard the partially propagated transaction.
+            txn.abort();
+            return Err(DmvError::NodeFailed(self.id));
+        }
+        txn.commit(Some(&new_v));
+        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(new_v)
+    }
+
+    /// Batch form of [`ReplicaNode::execute_update_with`]: executes the
+    /// given statements in order and returns their results plus the new
+    /// version vector.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReplicaNode::execute_update_with`].
+    pub fn execute_update(&self, queries: &[Query]) -> DmvResult<(Vec<ResultSet>, VersionVector)> {
+        let mut results = Vec::with_capacity(queries.len());
+        let version = self.execute_update_with(&mut |r| {
+            for q in queries {
+                results.push(r.run(q)?);
+            }
+            Ok(())
+        })?;
+        Ok((results, version))
+    }
+
+    fn wait_for_acks(&self, txn: TxnId, targets: &[NodeId]) {
+        let deadline = Instant::now() + self.ack_timeout;
+        let mut acks = self.acks.lock();
+        loop {
+            let got = acks.get(&txn);
+            let all = targets
+                .iter()
+                .all(|t| !self.net.is_alive(*t) || got.is_some_and(|s| s.contains(t)));
+            if all {
+                acks.remove(&txn);
+                return;
+            }
+            if self.acks_cv.wait_until(&mut acks, deadline).timed_out() {
+                acks.remove(&txn);
+                return; // dead targets are reconfigured away
+            }
+        }
+    }
+
+    /// Executes a read-only transaction at the scheduler-assigned tag,
+    /// driven by a statement closure.
+    ///
+    /// # Errors
+    ///
+    /// `VersionConflict` (retryable) if a required page version was
+    /// already surpassed; `NodeFailed` if this node is killed mid-read.
+    pub fn execute_read_with(
+        &self,
+        tag: &VersionVector,
+        f: &mut dyn FnMut(&mut dyn StatementRunner) -> DmvResult<()>,
+    ) -> DmvResult<()> {
+        if !self.is_alive() {
+            return Err(DmvError::NodeFailed(self.id));
+        }
+        let mut txn = self.db.begin_read_tagged(tag.clone());
+        {
+            let mut runner = NodeRunner { node: self, inner: &mut txn };
+            if let Err(e) = f(&mut runner) {
+                if matches!(e, DmvError::VersionConflict { .. }) {
+                    self.stats.version_aborts.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(e);
+            }
+        }
+        txn.commit(None);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Batch form of [`ReplicaNode::execute_read_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReplicaNode::execute_read_with`].
+    pub fn execute_read(
+        &self,
+        queries: &[Query],
+        tag: &VersionVector,
+    ) -> DmvResult<Vec<ResultSet>> {
+        let mut results = Vec::with_capacity(queries.len());
+        self.execute_read_with(tag, &mut |r| {
+            for q in queries {
+                results.push(r.run(q)?);
+            }
+            Ok(())
+        })?;
+        Ok(results)
+    }
+
+    /// Promotes this slave to master after a master failure: queued
+    /// records beyond `latest` (the scheduler's last acknowledged
+    /// version) were partially propagated and are discarded, the rest is
+    /// applied, and the version counter continues from `latest`.
+    pub fn promote_to_master(&self, latest: &VersionVector) {
+        self.applier.discard_above(latest);
+        self.applier.apply_all();
+        *self.dbversion.lock() = latest.clone();
+        self.set_role(ReplicaRole::Master);
+    }
+
+    /// Takes a fuzzy checkpoint (kept as this node's "local stable
+    /// storage" for reintegration after a crash).
+    pub fn take_checkpoint(&self) {
+        let now = self.clock.now_paper();
+        let ck = fuzzy_checkpoint(self.db.store(), now);
+        *self.checkpoint.lock() = ck;
+    }
+
+    /// The last checkpoint image.
+    pub fn checkpoint(&self) -> CheckpointImage {
+        self.checkpoint.lock().clone()
+    }
+
+    /// Support-slave side of data migration (§4.4): waits until this
+    /// node has received everything up to `target`, fully applies its
+    /// pending queues, and returns the pages strictly newer than the
+    /// joiner's versions.
+    ///
+    /// # Errors
+    ///
+    /// `Network` if `target` never arrives within the ack timeout.
+    pub fn collect_pages_newer(
+        &self,
+        joiner_versions: &HashMap<PageId, u64>,
+        target: &VersionVector,
+    ) -> DmvResult<Vec<(PageId, u64, Vec<u8>)>> {
+        // Migration tolerates a long wait: the replication stream may be
+        // backlogged right after a failure.
+        self.applier.wait_received_for(target, Duration::from_secs(30))?;
+        let store = self.db.store();
+        let mut out = Vec::new();
+        for id in store.page_ids() {
+            self.applier.apply_page(id);
+            let Some(cell) = store.get(id) else { continue };
+            let page = cell.latch.read();
+            let joiner_v = joiner_versions.get(&id).copied();
+            let newer = match joiner_v {
+                None => true,
+                Some(v) => page.version > v,
+            };
+            if newer {
+                out.push((id, page.version, page.to_image()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Joiner side: waits until the support slave's final page batch has
+    /// arrived.
+    ///
+    /// # Errors
+    ///
+    /// `Network` on timeout.
+    pub fn wait_migration_done(&self, timeout: Duration) -> DmvResult<()> {
+        let deadline = Instant::now() + timeout;
+        let mut done = self.migration_done.lock();
+        while !*done {
+            if self.migration_cv.wait_until(&mut done, deadline).timed_out() {
+                return Err(DmvError::Network("migration did not complete".into()));
+            }
+        }
+        *done = false; // reset for a future migration
+        Ok(())
+    }
+
+    /// Restores this node's database from a checkpoint (crash recovery
+    /// before reintegration). Pages restore *cold* — they live in the
+    /// recovering node's on-disk image until touched.
+    pub fn restore_from_checkpoint(&self, ck: &CheckpointImage) {
+        ck.restore_into(self.db.store(), false);
+    }
+
+    /// Copies another replica's entire store into this one (the shared
+    /// initial "mmap of the same on-disk database" at startup). Pages
+    /// arrive resident.
+    pub fn clone_pages_from(&self, other: &ReplicaNode) {
+        let src = other.db.store();
+        let dst = self.db.store();
+        for id in src.page_ids() {
+            let Some(s) = src.get(id) else { continue };
+            let sp = s.latch.read();
+            let cell = dst.get_or_create(id);
+            let mut dp = cell.latch.write();
+            dp.data_mut().copy_from_slice(sp.data());
+            dp.version = sp.version;
+        }
+        *self.dbversion.lock() = other.dbversion();
+    }
+
+    /// Hot pages: the ids of currently resident pages (sent to spares by
+    /// the page-id-transfer warmup strategy).
+    pub fn hot_pages(&self) -> Vec<PageId> {
+        let store = self.db.store();
+        store
+            .page_ids()
+            .into_iter()
+            .filter(|id| store.get(*id).is_some_and(|c| c.is_resident()))
+            .collect()
+    }
+
+    /// Touches `pages` (faults them in, charging page-in cost).
+    pub fn touch_pages(&self, pages: &[PageId]) {
+        let store = self.db.store();
+        for id in pages {
+            if let Some(cell) = store.get(*id) {
+                store.fault_in(&cell);
+            }
+        }
+    }
+
+    /// Marks the whole database non-resident (cold cache).
+    pub fn evict_all(&self) {
+        self.db.store().evict_all();
+    }
+
+    /// Resident pages (diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.db.store().resident_count()
+    }
+
+    /// Fail-stop kill: the node stops serving and its endpoint closes.
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+        self.net.kill(self.id);
+        self.set_role(ReplicaRole::Offline);
+    }
+
+    /// Clean shutdown (stops the receiver thread).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.net.kill(self.id);
+        if let Some(h) = self.receiver.lock().take() {
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplicaNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaNode")
+            .field("id", &self.id)
+            .field("role", &self.role())
+            .field("alive", &self.is_alive())
+            .field("dbversion", &format!("{}", self.dbversion()))
+            .finish()
+    }
+}
+
+impl Drop for ReplicaNode {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.receiver.lock().take() {
+            // Never join from the receiver thread itself (it may hold the
+            // last Arc when the node is dropped).
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}

@@ -1,0 +1,589 @@
+//! The version-aware scheduler (paper §2.1–2.2, §4.1, §4.6).
+//!
+//! The scheduler routes update transactions to the master of their
+//! conflict class, merges the version vectors masters report at commit,
+//! tags every read-only transaction with the latest merged vector, and
+//! routes it to a slave — preferring one already serving the same
+//! version (which is what keeps version-conflict aborts below the
+//! paper's 2.5 %), falling back to plain least-loaded balancing.
+//!
+//! It also owns durability (§4.6): committed update queries are logged
+//! (a lightweight insert) and fed asynchronously to the on-disk
+//! backend(s), so the commit path never waits for a disk database.
+
+use crate::messages::Msg;
+use crate::replica::ReplicaNode;
+use dmv_common::clock::SimClock;
+use dmv_common::config::NetProfile;
+use dmv_common::error::{DmvError, DmvResult};
+use dmv_common::ids::{NodeId, TableId};
+use dmv_common::stats::TxnStats;
+use dmv_common::version::VersionVector;
+use dmv_ondisk::DiskDb;
+use dmv_simnet::Network;
+use dmv_sql::exec::{RecordingRunner, ResultSet, StatementRunner};
+use dmv_sql::query::Query;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Spare-backup buffer-cache warmup strategy (paper §4.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WarmupStrategy {
+    /// Spares receive the replication stream but no reads (cold cache).
+    None,
+    /// Route this fraction of the read-only workload to a spare, solely
+    /// to keep its cache warm (the paper uses < 1 %).
+    QueryFraction(f64),
+    /// Every `every_reads` read transactions, an active slave sends its
+    /// hot page ids to the spares, which touch them (the paper transfers
+    /// every 100 transactions).
+    PageIdTransfer {
+        /// Transfer period, in read transactions.
+        every_reads: u64,
+    },
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Cluster clock.
+    pub clock: SimClock,
+    /// Network model for charging client↔scheduler↔database hops.
+    pub net: NetProfile,
+    /// Cost of logging one committed transaction's queries (§4.6:
+    /// "a lightweight database insert of the corresponding query
+    /// strings").
+    pub log_latency: Duration,
+    /// Spare warmup strategy.
+    pub warmup: WarmupStrategy,
+    /// Prefer slaves already serving the same version (the paper's
+    /// version-aware policy). Disable for the plain-load-balancing
+    /// ablation.
+    pub same_version_routing: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            clock: SimClock::default(),
+            net: NetProfile::zero(),
+            log_latency: Duration::ZERO,
+            warmup: WarmupStrategy::None,
+            same_version_routing: true,
+        }
+    }
+}
+
+/// Cluster membership as the scheduler sees it.
+#[derive(Clone, Default)]
+pub struct Topology {
+    /// One master per conflict class.
+    pub masters: Vec<Arc<ReplicaNode>>,
+    /// Table sets of the conflict classes (`classes[i]` → `masters[i]`).
+    /// With a single entry covering every table, all updates serialize
+    /// through one master.
+    pub classes: Vec<Vec<TableId>>,
+    /// Active slaves serving tagged reads.
+    pub slaves: Vec<Arc<ReplicaNode>>,
+    /// Warm/cold spare backups (receive the stream, serve no reads).
+    pub spares: Vec<Arc<ReplicaNode>>,
+}
+
+impl Topology {
+    /// Every replica (masters, slaves, spares).
+    pub fn all(&self) -> Vec<Arc<ReplicaNode>> {
+        let mut v = self.masters.clone();
+        v.extend(self.slaves.clone());
+        v.extend(self.spares.clone());
+        v
+    }
+}
+
+impl std::fmt::Debug for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Topology")
+            .field("masters", &self.masters.len())
+            .field("slaves", &self.slaves.len())
+            .field("spares", &self.spares.len())
+            .finish()
+    }
+}
+
+#[derive(Default)]
+struct SlaveState {
+    inflight: usize,
+    last_tag_total: u64,
+}
+
+/// The version-aware scheduler.
+pub struct Scheduler {
+    id: NodeId,
+    topo: RwLock<Topology>,
+    latest: Mutex<VersionVector>,
+    slave_state: Mutex<HashMap<NodeId, SlaveState>>,
+    cfg: SchedulerConfig,
+    net: Network<Msg>,
+    /// Aggregate transaction statistics for this scheduler.
+    pub stats: Arc<TxnStats>,
+    read_counter: AtomicU64,
+    query_log: Mutex<Vec<Vec<Query>>>,
+    backend_tx: Mutex<Option<crossbeam::channel::Sender<Vec<Query>>>>,
+    feed_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    alive: AtomicBool,
+    backends: Vec<Arc<DiskDb>>,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over `topo`, feeding `backends` asynchronously.
+    pub fn new(
+        id: NodeId,
+        n_tables: usize,
+        topo: Topology,
+        backends: Vec<Arc<DiskDb>>,
+        net: Network<Msg>,
+        cfg: SchedulerConfig,
+    ) -> Arc<Self> {
+        let sched = Arc::new(Scheduler {
+            id,
+            topo: RwLock::new(topo),
+            latest: Mutex::new(VersionVector::new(n_tables)),
+            slave_state: Mutex::new(HashMap::new()),
+            cfg,
+            net,
+            stats: Arc::new(TxnStats::new()),
+            read_counter: AtomicU64::new(0),
+            query_log: Mutex::new(Vec::new()),
+            backend_tx: Mutex::new(None),
+            feed_thread: Mutex::new(None),
+            alive: AtomicBool::new(true),
+            backends: backends.clone(),
+        });
+        if !backends.is_empty() {
+            let (tx, rx) = crossbeam::channel::unbounded::<Vec<Query>>();
+            *sched.backend_tx.lock() = Some(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("sched-{id}-feed"))
+                .spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        for b in &backends {
+                            // Retry transient aborts; the log is replayed
+                            // in order so this must eventually apply.
+                            for _ in 0..10 {
+                                match b.execute_txn(&batch) {
+                                    Ok(_) => break,
+                                    Err(e) if e.is_retryable() => continue,
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                    }
+                })
+                .expect("spawn backend feed");
+            *sched.feed_thread.lock() = Some(handle);
+        }
+        sched
+    }
+
+    /// The scheduler's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// True until killed.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Fail-stop kill (for scheduler fail-over experiments).
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// The latest merged version vector.
+    pub fn latest(&self) -> VersionVector {
+        self.latest.lock().clone()
+    }
+
+    /// Snapshot of the topology.
+    pub fn topology(&self) -> Topology {
+        self.topo.read().clone()
+    }
+
+    /// Replaces the topology (reconfiguration).
+    pub fn set_topology(&self, topo: Topology) {
+        *self.topo.write() = topo;
+    }
+
+    /// The persisted query log (for recovery tests).
+    pub fn query_log_len(&self) -> usize {
+        self.query_log.lock().len()
+    }
+
+    fn charge_hop(&self, bytes: usize) {
+        let t = self.cfg.net.transfer_time(bytes);
+        if !t.is_zero() {
+            self.cfg.clock.sleep_paper(t);
+        }
+    }
+
+    fn master_for_tables(&self, tables: &[TableId]) -> DmvResult<Arc<ReplicaNode>> {
+        let topo = self.topo.read();
+        if topo.masters.is_empty() {
+            return Err(DmvError::NoReplicaAvailable);
+        }
+        let idx = topo
+            .classes
+            .iter()
+            .position(|c| tables.iter().all(|t| c.contains(t)))
+            .unwrap_or(0);
+        let master = Arc::clone(&topo.masters[idx.min(topo.masters.len() - 1)]);
+        if !master.is_alive() {
+            return Err(DmvError::NodeFailed(master.id()));
+        }
+        Ok(master)
+    }
+
+    /// Runs an update transaction driven by a statement closure. The
+    /// scheduler is pre-configured with the tables each transaction type
+    /// accesses (`tables`, the paper's conflict-class information);
+    /// committed write statements are recorded for the persistence log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates master-side errors (retryable: deadlocks, node death).
+    pub fn run_update_with(
+        &self,
+        tables: &[TableId],
+        f: &mut dyn FnMut(&mut dyn StatementRunner) -> DmvResult<()>,
+    ) -> DmvResult<()> {
+        let master = self.master_for_tables(tables)?;
+        self.charge_hop(256); // client → scheduler → master request hop
+        let mut writes: Vec<Query> = Vec::new();
+        let res = master.execute_update_with(&mut |r| {
+            let mut rec = RecordingRunner::new(r);
+            let out = f(&mut rec);
+            writes.append(&mut rec.writes);
+            out
+        });
+        match res {
+            Ok(version) => {
+                self.latest.lock().merge(&version);
+                // §4.6: log, then return; backends apply asynchronously.
+                if !self.cfg.log_latency.is_zero() {
+                    self.cfg.clock.sleep_paper(self.cfg.log_latency);
+                }
+                if !writes.is_empty() {
+                    self.query_log.lock().push(writes.clone());
+                    if let Some(tx) = self.backend_tx.lock().as_ref() {
+                        let _ = tx.send(writes);
+                    }
+                }
+                self.charge_hop(128); // reply hop
+                self.stats.commits.inc();
+                self.stats.updates.inc();
+                Ok(())
+            }
+            Err(e) => {
+                self.count_abort(&e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Batch form of [`Scheduler::run_update_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheduler::run_update_with`].
+    pub fn run_update(&self, queries: &[Query]) -> DmvResult<Vec<ResultSet>> {
+        let mut tables: Vec<TableId> = queries
+            .iter()
+            .filter(|q| q.is_write())
+            .flat_map(|q| q.tables())
+            .collect();
+        tables.sort();
+        tables.dedup();
+        let mut results = Vec::with_capacity(queries.len());
+        self.run_update_with(&tables, &mut |r| {
+            for q in queries {
+                results.push(r.run(q)?);
+            }
+            Ok(())
+        })?;
+        Ok(results)
+    }
+
+    fn count_abort(&self, e: &DmvError) {
+        match e {
+            DmvError::VersionConflict { .. } => {
+                self.stats.version_aborts.inc();
+            }
+            DmvError::Deadlock(_) => {
+                self.stats.deadlock_aborts.inc();
+            }
+            DmvError::NodeFailed(_) | DmvError::NoSuchNode(_) => {
+                self.stats.failure_aborts.inc();
+            }
+            _ => {}
+        }
+    }
+
+    /// Picks the slave for a read tagged `tag`: same-version replicas
+    /// first, least-loaded as tie-break and fallback; occasionally a
+    /// spare, per the warmup strategy.
+    fn pick_slave(&self, tag: &VersionVector) -> DmvResult<Arc<ReplicaNode>> {
+        let topo = self.topo.read();
+        // Warmup strategy A: a trickle of real reads keeps a spare warm.
+        if let WarmupStrategy::QueryFraction(f) = self.cfg.warmup {
+            if f > 0.0 && !topo.spares.is_empty() {
+                let period = (1.0 / f).round().max(1.0) as u64;
+                if self.read_counter.load(Ordering::Relaxed) % period == period - 1 {
+                    if let Some(spare) = topo.spares.iter().find(|s| s.is_alive()) {
+                        return Ok(Arc::clone(spare));
+                    }
+                }
+            }
+        }
+        let alive: Vec<&Arc<ReplicaNode>> =
+            topo.slaves.iter().filter(|s| s.is_alive()).collect();
+        if alive.is_empty() {
+            return Err(DmvError::NoReplicaAvailable);
+        }
+        let states = self.slave_state.lock();
+        let tag_total = tag.total();
+        let inflight_of = |s: &Arc<ReplicaNode>| {
+            states.get(&s.id()).map(|st| st.inflight).unwrap_or(0)
+        };
+        let least_loaded =
+            alive.iter().copied().min_by_key(|s| inflight_of(s)).expect("nonempty");
+        let best = if self.cfg.same_version_routing {
+            // Prefer a replica already serving this version, unless it is
+            // badly overloaded relative to the least-loaded one — the
+            // preference must not collapse the read set onto one node.
+            alive
+                .iter()
+                .copied()
+                .filter(|s| {
+                    states
+                        .get(&s.id())
+                        .map(|st| st.last_tag_total == tag_total)
+                        .unwrap_or(false)
+                })
+                .min_by_key(|s| inflight_of(s))
+                .filter(|s| inflight_of(s) <= inflight_of(least_loaded) + 2)
+                .unwrap_or(least_loaded)
+        } else {
+            least_loaded
+        };
+        Ok(Arc::clone(best))
+    }
+
+    /// Runs a read-only transaction driven by a statement closure: tags
+    /// it with the latest version vector and routes it to a slave.
+    ///
+    /// # Errors
+    ///
+    /// `VersionConflict` (retryable) or slave-failure errors.
+    pub fn run_read_with(
+        &self,
+        f: &mut dyn FnMut(&mut dyn StatementRunner) -> DmvResult<()>,
+    ) -> DmvResult<()> {
+        let tag = self.latest();
+        let slave = self.pick_slave(&tag)?;
+        let n = self.read_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        // Warmup strategy B: periodic page-id transfer to spares.
+        if let WarmupStrategy::PageIdTransfer { every_reads } = self.cfg.warmup {
+            if every_reads > 0 && n % every_reads == 0 {
+                self.send_pageid_hints();
+            }
+        }
+        {
+            let mut states = self.slave_state.lock();
+            let st = states.entry(slave.id()).or_default();
+            st.inflight += 1;
+            st.last_tag_total = tag.total();
+        }
+        self.charge_hop(256);
+        let res = slave.execute_read_with(&tag, f);
+        {
+            let mut states = self.slave_state.lock();
+            if let Some(st) = states.get_mut(&slave.id()) {
+                st.inflight = st.inflight.saturating_sub(1);
+            }
+        }
+        match res {
+            Ok(()) => {
+                self.charge_hop(512);
+                self.stats.commits.inc();
+                self.stats.reads.inc();
+                Ok(())
+            }
+            Err(e) => {
+                self.count_abort(&e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Batch form of [`Scheduler::run_read_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheduler::run_read_with`].
+    pub fn run_read(&self, queries: &[Query]) -> DmvResult<Vec<ResultSet>> {
+        let mut results = Vec::with_capacity(queries.len());
+        self.run_read_with(&mut |r| {
+            for q in queries {
+                results.push(r.run(q)?);
+            }
+            Ok(())
+        })?;
+        Ok(results)
+    }
+
+    fn send_pageid_hints(&self) {
+        let topo = self.topo.read();
+        let Some(active) = topo.slaves.iter().find(|s| s.is_alive()) else { return };
+        let pages = active.hot_pages();
+        if pages.is_empty() {
+            return;
+        }
+        for spare in topo.spares.iter().filter(|s| s.is_alive()) {
+            let msg = Msg::PageIdHint { pages: pages.clone() };
+            let size = msg.encoded_len();
+            let _ = self.net.send_external(active.id(), spare.id(), msg, size);
+        }
+    }
+
+    /// Master-failure reconfiguration (§4.2): discard partially
+    /// propagated records beyond the last acknowledged version, promote a
+    /// slave (or designated `replacement`) to master, and rewire
+    /// replication. Returns the new master.
+    ///
+    /// # Errors
+    ///
+    /// `NoReplicaAvailable` if no slave can be promoted.
+    pub fn handle_master_failure(
+        &self,
+        failed: NodeId,
+        replacement: Option<Arc<ReplicaNode>>,
+    ) -> DmvResult<Arc<ReplicaNode>> {
+        let latest = self.latest();
+        let mut topo = self.topo.write();
+        // Tell every surviving replica to discard records the failed
+        // master never confirmed.
+        for r in topo.all() {
+            if r.is_alive() {
+                r.applier().discard_above(&latest);
+            }
+        }
+        let new_master = match replacement {
+            Some(r) => r,
+            None => topo
+                .slaves
+                .iter()
+                .find(|s| s.is_alive())
+                .cloned()
+                .ok_or(DmvError::NoReplicaAvailable)?,
+        };
+        new_master.promote_to_master(&latest);
+        topo.slaves.retain(|s| s.id() != new_master.id());
+        topo.spares.retain(|s| s.id() != new_master.id());
+        if let Some(slot) = topo.masters.iter_mut().find(|m| m.id() == failed) {
+            *slot = Arc::clone(&new_master);
+        } else {
+            topo.masters.push(Arc::clone(&new_master));
+        }
+        // New replication targets: every other live replica.
+        let targets: Vec<NodeId> = topo
+            .all()
+            .iter()
+            .filter(|r| r.is_alive() && r.id() != new_master.id())
+            .map(|r| r.id())
+            .collect();
+        new_master.set_targets(targets);
+        self.slave_state.lock().remove(&new_master.id());
+        Ok(new_master)
+    }
+
+    /// Slave-failure reconfiguration (§4.3): drop it from the tables and
+    /// from the masters' replication lists.
+    pub fn handle_slave_failure(&self, failed: NodeId) {
+        let mut topo = self.topo.write();
+        topo.slaves.retain(|s| s.id() != failed);
+        topo.spares.retain(|s| s.id() != failed);
+        for m in &topo.masters {
+            m.unsubscribe(failed);
+        }
+        self.slave_state.lock().remove(&failed);
+    }
+
+    /// Activates a spare as a read-serving slave (fail-over target).
+    pub fn activate_spare(&self, id: NodeId) -> bool {
+        let mut topo = self.topo.write();
+        if let Some(pos) = topo.spares.iter().position(|s| s.id() == id && s.is_alive()) {
+            let spare = topo.spares.remove(pos);
+            spare.set_role(dmv_common::ids::ReplicaRole::Slave);
+            topo.slaves.push(spare);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adds a (re)integrated node as a slave (§4.4: "new replicas are
+    /// always integrated as slave nodes ... regardless of their rank
+    /// prior to failure").
+    pub fn add_slave(&self, node: Arc<ReplicaNode>) {
+        node.set_role(dmv_common::ids::ReplicaRole::Slave);
+        self.topo.write().slaves.push(node);
+    }
+
+    /// Adds a node as a spare backup.
+    pub fn add_spare(&self, node: Arc<ReplicaNode>) {
+        node.set_role(dmv_common::ids::ReplicaRole::SpareBackup);
+        self.topo.write().spares.push(node);
+    }
+
+    /// Scheduler takeover (§4.1): a peer scheduler rebuilds its version
+    /// vector from the masters' highest produced versions.
+    pub fn recover_from_masters(&self) {
+        let topo = self.topo.read();
+        let mut latest = self.latest.lock();
+        for m in topo.masters.iter().filter(|m| m.is_alive()) {
+            latest.merge(&m.dbversion());
+        }
+    }
+
+    /// The on-disk backends this scheduler feeds.
+    pub fn backends(&self) -> &[Arc<DiskDb>] {
+        &self.backends
+    }
+
+    /// Stops the backend feed thread after draining queued batches.
+    pub fn shutdown(&self) {
+        *self.backend_tx.lock() = None; // close channel; feed drains and exits
+        if let Some(h) = self.feed_thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("id", &self.id)
+            .field("latest", &format!("{}", self.latest()))
+            .field("topology", &*self.topo.read())
+            .finish()
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,525 @@
+//! End-to-end tests of the DMV middleware: replication consistency,
+//! version tagging, master/slave/scheduler fail-over, stale-node
+//! reintegration, spare warmup and the persistence tier.
+
+use dmv_common::error::DmvError;
+use dmv_common::ids::{NodeId, TableId};
+use dmv_core::cluster::{ClusterSpec, DmvCluster};
+use dmv_core::scheduler::WarmupStrategy;
+use dmv_sql::query::{Access, Expr, Query, Select, SetExpr};
+use dmv_sql::schema::{ColType, Column, IndexDef, Schema, TableSchema};
+use dmv_sql::value::Value;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        TableSchema::new(
+            TableId(0),
+            "accounts",
+            vec![
+                Column::new("id", ColType::Int),
+                Column::new("owner", ColType::Str),
+                Column::new("balance", ColType::Int),
+            ],
+            vec![IndexDef::unique("pk", vec![0]), IndexDef::non_unique("by_owner", vec![1])],
+        ),
+        TableSchema::new(
+            TableId(1),
+            "audit",
+            vec![Column::new("seq", ColType::Int), Column::new("note", ColType::Str)],
+            vec![IndexDef::unique("pk", vec![0])],
+        ),
+    ])
+}
+
+fn start_cluster(n_slaves: usize, n_spares: usize) -> Arc<DmvCluster> {
+    let mut spec = ClusterSpec::fast_test(schema());
+    spec.n_slaves = n_slaves;
+    spec.n_spares = n_spares;
+    let cluster = DmvCluster::start(spec);
+    let rows: Vec<Vec<Value>> =
+        (0..100).map(|i| vec![i.into(), format!("owner{}", i % 10).into(), 1000.into()]).collect();
+    cluster.load_rows(TableId(0), rows).unwrap();
+    cluster.finish_load();
+    cluster
+}
+
+fn insert_account(id: i64) -> Query {
+    Query::Insert {
+        table: TableId(0),
+        rows: vec![vec![id.into(), format!("owner{}", id % 10).into(), 1000.into()]],
+    }
+}
+
+fn deposit(id: i64, amount: i64) -> Query {
+    Query::Update {
+        table: TableId(0),
+        access: Access::Auto,
+        filter: Some(Expr::eq(0, id)),
+        set: vec![(2, SetExpr::AddInt(amount))],
+    }
+}
+
+fn read_balance(id: i64) -> Query {
+    Query::Select(Select::by_pk(TableId(0), vec![id.into()]).project(vec![2]))
+}
+
+fn scan_all() -> Query {
+    Query::Select(Select::scan(TableId(0)))
+}
+
+#[test]
+fn loaded_data_visible_on_all_slaves() {
+    let cluster = start_cluster(3, 0);
+    let session = cluster.session();
+    // Reads rotate across slaves; every one must see the initial load.
+    for _ in 0..9 {
+        let rs = session.read(&[scan_all()]).unwrap();
+        assert_eq!(rs[0].rows.len(), 100);
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn update_visible_to_subsequent_reads() {
+    let cluster = start_cluster(2, 0);
+    let session = cluster.session();
+    session.update(&[deposit(7, 500)]).unwrap();
+    // The read is tagged with the commit's version: it must see it, on
+    // whichever slave it lands.
+    for _ in 0..4 {
+        let rs = session.read_retry(&[read_balance(7)], 5).unwrap();
+        assert_eq!(rs[0].rows[0][0], Value::Int(1500));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn monotone_reads_under_concurrent_writers() {
+    let cluster = start_cluster(2, 0);
+    let writer = cluster.session();
+    let w = std::thread::spawn(move || {
+        for _ in 0..50 {
+            writer.update_retry(&[deposit(1, 1)], 10).unwrap();
+        }
+    });
+    let reader = cluster.session();
+    let mut last = 1000i64;
+    let mut observed = 0;
+    for _ in 0..200 {
+        if let Ok(rs) = reader.read_retry(&[read_balance(1)], 10) {
+            let v = rs[0].rows[0][0].as_int().unwrap();
+            assert!(v >= last, "balance went backwards: {v} < {last}");
+            last = v;
+            observed += 1;
+        }
+    }
+    w.join().unwrap();
+    assert!(observed > 0);
+    let final_balance =
+        reader.read_retry(&[read_balance(1)], 10).unwrap()[0].rows[0][0].clone();
+    assert_eq!(final_balance, Value::Int(1050));
+    cluster.shutdown();
+}
+
+#[test]
+fn replicas_converge_bitwise_after_quiescence() {
+    let cluster = start_cluster(3, 0);
+    let session = cluster.session();
+    for i in 0..30 {
+        session.update(&[insert_account(1000 + i)]).unwrap();
+        session.update(&[deposit(1000 + i, i)]).unwrap();
+    }
+    // Force full application everywhere.
+    let master = cluster.master(0);
+    let topo_slaves = cluster.slave_ids();
+    for id in topo_slaves {
+        let slave = cluster.replica(id).unwrap();
+        slave.applier().apply_all();
+        let ms = master.db().store();
+        let ss = slave.db().store();
+        let mut ids = ms.page_ids();
+        ids.sort();
+        assert!(!ids.is_empty());
+        for pid in ids {
+            let mp = ms.get(pid).unwrap();
+            let sp = ss.get(pid).unwrap_or_else(|| panic!("{id} missing page {pid}"));
+            assert_eq!(
+                mp.latch.read().data(),
+                sp.latch.read().data(),
+                "page {pid} diverged on {id}"
+            );
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn slave_failure_reconfigures_and_service_continues() {
+    let cluster = start_cluster(2, 0);
+    let session = cluster.session();
+    session.update(&[deposit(1, 1)]).unwrap();
+    let victim = cluster.slave_ids()[0];
+    cluster.kill_replica(victim);
+    cluster.detect_and_reconfigure();
+    assert_eq!(cluster.slave_ids().len(), 1);
+    // Reads keep working (maybe with a retry around the kill window).
+    let rs = session.read_retry(&[read_balance(1)], 10).unwrap();
+    assert_eq!(rs[0].rows[0][0], Value::Int(1001));
+    cluster.shutdown();
+}
+
+#[test]
+fn master_failure_promotes_slave_and_updates_continue() {
+    let cluster = start_cluster(3, 0);
+    let session = cluster.session();
+    for i in 0..10 {
+        session.update(&[deposit(i, 10)]).unwrap();
+    }
+    let old_master = cluster.master(0).id();
+    cluster.kill_replica(old_master);
+    cluster.detect_and_reconfigure();
+    let new_master = cluster.master(0);
+    assert_ne!(new_master.id(), old_master, "a slave must be promoted");
+    assert_eq!(cluster.slave_ids().len(), 2, "promoted slave leaves the read set");
+    // Updates and reads continue, with retries over the failure window.
+    session.update_retry(&[deposit(1, 5)], 10).unwrap();
+    let rs = session.read_retry(&[read_balance(1)], 10).unwrap();
+    assert_eq!(rs[0].rows[0][0], Value::Int(1015));
+    cluster.shutdown();
+}
+
+#[test]
+fn writes_after_promotion_reach_remaining_slaves() {
+    let cluster = start_cluster(3, 0);
+    let session = cluster.session();
+    session.update(&[deposit(2, 100)]).unwrap();
+    cluster.kill_replica(cluster.master(0).id());
+    cluster.detect_and_reconfigure();
+    for _ in 0..5 {
+        session.update_retry(&[deposit(2, 100)], 10).unwrap();
+    }
+    // Both remaining slaves serve the newest value.
+    for _ in 0..4 {
+        let rs = session.read_retry(&[read_balance(2)], 10).unwrap();
+        assert_eq!(rs[0].rows[0][0], Value::Int(1600));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn spare_auto_activates_on_slave_failure() {
+    let cluster = start_cluster(2, 1);
+    let session = cluster.session();
+    assert_eq!(cluster.spare_ids().len(), 1);
+    let victim = cluster.slave_ids()[0];
+    cluster.kill_replica(victim);
+    cluster.detect_and_reconfigure();
+    assert_eq!(cluster.slave_ids().len(), 2, "spare replaces the failed slave");
+    assert_eq!(cluster.spare_ids().len(), 0);
+    let rs = session.read_retry(&[scan_all()], 10).unwrap();
+    assert_eq!(rs[0].rows.len(), 100);
+    cluster.shutdown();
+}
+
+#[test]
+fn reintegration_catches_up_and_serves() {
+    let mut spec = ClusterSpec::fast_test(schema());
+    spec.n_slaves = 2;
+    spec.checkpoint_period = Some(Duration::from_secs(3600)); // manual checkpoints only
+    let cluster = DmvCluster::start(spec);
+    cluster
+        .load_rows(
+            TableId(0),
+            (0..50).map(|i| vec![i.into(), "o".into(), 1000.into()]).collect(),
+        )
+        .unwrap();
+    cluster.finish_load();
+    let session = cluster.session();
+
+    let victim = cluster.slave_ids()[0];
+    cluster.kill_replica(victim);
+    cluster.detect_and_reconfigure();
+
+    // Commit plenty while the node is down.
+    for i in 0..25 {
+        session.update_retry(&[deposit(i, 7)], 10).unwrap();
+    }
+
+    let report = cluster.reintegrate(victim).unwrap();
+    assert!(report.pages > 0, "changed pages must be transferred");
+    assert_eq!(cluster.slave_ids().len(), 2);
+
+    // The rejoined node can serve current data. Route directly to it.
+    let node = cluster.replica(victim).unwrap();
+    let tag = cluster.master(0).dbversion();
+    let rs = node.execute_read(&[read_balance(10)], &tag).unwrap();
+    assert_eq!(rs[0].rows[0][0], Value::Int(1007));
+    cluster.shutdown();
+}
+
+#[test]
+fn reintegration_transfers_only_changed_pages() {
+    let mut spec = ClusterSpec::fast_test(schema());
+    spec.n_slaves = 2;
+    let cluster = DmvCluster::start(spec);
+    cluster
+        .load_rows(
+            TableId(0),
+            (0..2000).map(|i| vec![i.into(), "o".into(), 1000.into()]).collect(),
+        )
+        .unwrap();
+    cluster.finish_load();
+    let session = cluster.session();
+    let victim = cluster.slave_ids()[0];
+    // Fresh checkpoint right before the failure: only post-failure
+    // changes should move.
+    cluster.replica(victim).unwrap().take_checkpoint();
+    let total_pages = cluster.master(0).db().store().len();
+    cluster.kill_replica(victim);
+    cluster.detect_and_reconfigure();
+    session.update_retry(&[deposit(1, 7)], 10).unwrap();
+    let report = cluster.reintegrate(victim).unwrap();
+    assert!(
+        report.pages < total_pages / 2,
+        "selective transfer moved {}/{} pages",
+        report.pages,
+        total_pages
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn fresh_node_integration_transfers_everything() {
+    let cluster = start_cluster(1, 0);
+    let (id, report) = cluster.integrate_fresh_node().unwrap();
+    let total_pages = cluster.master(0).db().store().len();
+    assert_eq!(report.pages, total_pages, "fresh node needs every page");
+    assert!(cluster.slave_ids().contains(&id));
+    cluster.shutdown();
+}
+
+#[test]
+fn scheduler_failover_preserves_versions() {
+    let mut spec = ClusterSpec::fast_test(schema());
+    spec.n_slaves = 2;
+    spec.n_schedulers = 2;
+    let cluster = DmvCluster::start(spec);
+    cluster
+        .load_rows(TableId(0), (0..20).map(|i| vec![i.into(), "o".into(), 0.into()]).collect())
+        .unwrap();
+    cluster.finish_load();
+    let session = cluster.session();
+    for _ in 0..5 {
+        session.update(&[deposit(3, 1)]).unwrap();
+    }
+    cluster.kill_scheduler(0);
+    // The peer scheduler recovered the latest version from the master:
+    // a read through it must see all five deposits.
+    let rs = session.read_retry(&[read_balance(3)], 10).unwrap();
+    assert_eq!(rs[0].rows[0][0], Value::Int(5));
+    cluster.shutdown();
+}
+
+#[test]
+fn persistence_backend_receives_updates() {
+    let mut spec = ClusterSpec::fast_test(schema());
+    spec.n_slaves = 1;
+    spec.n_backends = 1;
+    let cluster = DmvCluster::start(spec);
+    cluster
+        .load_rows(TableId(0), (0..10).map(|i| vec![i.into(), "o".into(), 0.into()]).collect())
+        .unwrap();
+    cluster.finish_load();
+    let session = cluster.session();
+    // NOTE: the backend starts empty; it receives the update stream.
+    for i in 0..10 {
+        session.update(&[insert_account(100 + i)]).unwrap();
+    }
+    cluster.shutdown(); // drains the async feed
+    let backend = &cluster.backends()[0];
+    let rs = backend.execute_txn(&[scan_all()]).unwrap();
+    assert_eq!(rs[0].rows.len(), 10, "all async-fed inserts applied");
+    cluster.shutdown();
+}
+
+#[test]
+fn total_memory_tier_loss_recovers_from_backend() {
+    let mut spec = ClusterSpec::fast_test(schema());
+    spec.n_slaves = 2;
+    spec.n_backends = 1;
+    let cluster = DmvCluster::start(spec);
+    cluster.finish_load();
+    let session = cluster.session();
+    for i in 0..30 {
+        session.update(&[insert_account(i)]).unwrap();
+        session.update(&[deposit(i, i)]).unwrap();
+    }
+    cluster.shutdown(); // drain feed
+    // Catastrophe: every in-memory node dies. Rebuild a new cluster from
+    // the on-disk backend.
+    let backend = Arc::clone(&cluster.backends()[0]);
+    let dump = backend.execute_txn(&[scan_all()]).unwrap();
+    let mut spec2 = ClusterSpec::fast_test(schema());
+    spec2.n_slaves = 1;
+    let cluster2 = DmvCluster::start(spec2);
+    cluster2.load_rows(TableId(0), dump[0].rows.clone()).unwrap();
+    cluster2.finish_load();
+    let s2 = cluster2.session();
+    let rs = s2.read(&[read_balance(29)]).unwrap();
+    assert_eq!(rs[0].rows[0][0], Value::Int(1029));
+    cluster2.shutdown();
+}
+
+#[test]
+fn conflict_class_masters_run_disjoint_updates() {
+    let mut spec = ClusterSpec::fast_test(schema());
+    spec.n_slaves = 2;
+    spec.conflict_classes = Some(vec![vec![TableId(0)], vec![TableId(1)]]);
+    let cluster = DmvCluster::start(spec);
+    cluster
+        .load_rows(TableId(0), (0..10).map(|i| vec![i.into(), "o".into(), 0.into()]).collect())
+        .unwrap();
+    cluster.finish_load();
+    let session = cluster.session();
+    // Class 0: accounts. Class 1: audit. Updates go to different masters.
+    session.update(&[deposit(1, 5)]).unwrap();
+    session
+        .update(&[Query::Insert {
+            table: TableId(1),
+            rows: vec![vec![1.into(), "note".into()]],
+        }])
+        .unwrap();
+    let m0 = cluster.master(0);
+    let m1 = cluster.master(1);
+    assert_ne!(m0.id(), m1.id());
+    assert_eq!(m0.stats.commits.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(m1.stats.commits.load(std::sync::atomic::Ordering::Relaxed), 1);
+    // A read joining both tables sees both effects.
+    let rs = session.read_retry(&[read_balance(1)], 5).unwrap();
+    assert_eq!(rs[0].rows[0][0], Value::Int(5));
+    let rs = session
+        .read_retry(&[Query::Select(Select::scan(TableId(1)))], 5)
+        .unwrap();
+    assert_eq!(rs[0].rows.len(), 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn warmup_query_fraction_touches_spare() {
+    let mut spec = ClusterSpec::fast_test(schema());
+    spec.n_slaves = 1;
+    spec.n_spares = 1;
+    spec.warmup = WarmupStrategy::QueryFraction(0.25);
+    let cluster = DmvCluster::start(spec);
+    cluster
+        .load_rows(TableId(0), (0..50).map(|i| vec![i.into(), "o".into(), 0.into()]).collect())
+        .unwrap();
+    cluster.finish_load();
+    let spare_id = cluster.spare_ids()[0];
+    let spare = cluster.replica(spare_id).unwrap();
+    spare.evict_all();
+    let session = cluster.session();
+    for _ in 0..40 {
+        session.read_retry(&[scan_all()], 5).unwrap();
+    }
+    let served = spare.stats.reads.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(served >= 5, "spare should serve ~25% of reads, served {served}");
+    assert!(spare.resident_pages() > 0, "warmup must touch the spare's cache");
+    cluster.shutdown();
+}
+
+#[test]
+fn warmup_pageid_transfer_keeps_spare_resident() {
+    let mut spec = ClusterSpec::fast_test(schema());
+    spec.n_slaves = 1;
+    spec.n_spares = 1;
+    spec.warmup = WarmupStrategy::PageIdTransfer { every_reads: 5 };
+    let cluster = DmvCluster::start(spec);
+    cluster
+        .load_rows(TableId(0), (0..50).map(|i| vec![i.into(), "o".into(), 0.into()]).collect())
+        .unwrap();
+    cluster.finish_load();
+    let spare_id = cluster.spare_ids()[0];
+    let spare = cluster.replica(spare_id).unwrap();
+    spare.evict_all();
+    assert_eq!(spare.resident_pages(), 0);
+    let session = cluster.session();
+    for _ in 0..25 {
+        session.read_retry(&[scan_all()], 5).unwrap();
+    }
+    // Hints travel the simulated network; give the receiver a beat.
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(
+        spare.resident_pages() > 0,
+        "page-id transfer must fault hinted pages in"
+    );
+    assert_eq!(
+        spare.stats.reads.load(std::sync::atomic::Ordering::Relaxed),
+        0,
+        "strategy B serves no reads on the spare"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn version_conflict_surfaces_as_retryable() {
+    let cluster = start_cluster(1, 0);
+    let session = cluster.session();
+    // Single slave + interleaved writes: force a reader with an old tag
+    // to land on pages upgraded by a reader with a newer tag.
+    let c2 = Arc::clone(&cluster);
+    let w = std::thread::spawn(move || {
+        let s = c2.session();
+        for _ in 0..30 {
+            s.update_retry(&[deposit(1, 1)], 10).unwrap();
+        }
+    });
+    let mut conflicts = 0;
+    for _ in 0..100 {
+        match session.read(&[read_balance(1)]) {
+            Ok(_) => {}
+            Err(e @ DmvError::VersionConflict { .. }) => {
+                assert!(e.is_retryable());
+                conflicts += 1;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    w.join().unwrap();
+    // Conflicts may or may not occur (timing), but the accounting must
+    // be consistent with the scheduler's counters.
+    let stats = &cluster.stats()[0];
+    assert_eq!(stats.version_aborts.get(), conflicts);
+    cluster.shutdown();
+}
+
+#[test]
+fn abort_rate_stays_low_with_enough_slaves() {
+    let cluster = start_cluster(3, 0);
+    let c2 = Arc::clone(&cluster);
+    let w = std::thread::spawn(move || {
+        let s = c2.session();
+        for i in 0..60 {
+            s.update_retry(&[deposit(i % 10, 1)], 10).unwrap();
+        }
+    });
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let c = Arc::clone(&cluster);
+        readers.push(std::thread::spawn(move || {
+            let s = c.session();
+            for i in 0..100 {
+                let _ = s.read_retry(&[read_balance(i % 10)], 10);
+            }
+        }));
+    }
+    w.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+    let rate = cluster.version_abort_rate();
+    assert!(rate < 0.05, "abort rate {rate} should stay low (paper: < 2.5%)");
+    cluster.shutdown();
+}

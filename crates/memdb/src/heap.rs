@@ -1,0 +1,132 @@
+//! Heap storage: rows in slotted pages.
+//!
+//! Rows are addressed by stable `(page, slot)` [`RowId`]s; an update that
+//! no longer fits its page relocates the row (returning the new id so the
+//! caller can fix the indexes).
+
+use crate::txn::Txn;
+use dmv_common::error::{DmvError, DmvResult};
+use dmv_common::ids::{PageId, PageSpace, RowId, TableId};
+use dmv_pagestore::slotted;
+use dmv_sql::row::{decode_row, encode_row, Row};
+
+/// Inserts `row` into the table's heap, returning its new id.
+///
+/// # Errors
+///
+/// Propagates lock and storage errors; `Storage` if the encoded row
+/// exceeds a page.
+pub fn insert(txn: &mut Txn<'_>, table: TableId, row: &Row) -> DmvResult<RowId> {
+    let bytes = encode_row(row);
+    if bytes.len() > slotted::MAX_RECORD {
+        return Err(DmvError::Storage(format!("row of {} bytes exceeds page size", bytes.len())));
+    }
+    // Try the hint page, then every later page, then allocate. Free
+    // space is *peeked* under the latch first — exclusive-locking a full
+    // page just to discover it is full would hold that lock until commit
+    // (2PL) and serialize every concurrent inserter behind it.
+    let count = txn.heap_page_count(table);
+    let hint = txn.db().insert_hint(table).min(count.saturating_sub(1));
+    let mut candidates: Vec<u32> = (hint..count).collect();
+    candidates.extend(0..hint);
+    for page_no in candidates {
+        let id = PageId::heap(table, page_no);
+        let looks_roomy = txn
+            .peek_page(id, |d| slotted::total_free(d) >= bytes.len() + 8)
+            .unwrap_or(false);
+        if !looks_roomy {
+            continue;
+        }
+        let slot = txn.write_page(id, |d| slotted::insert(d, &bytes))?;
+        if let Some(slot) = slot {
+            txn.db().set_insert_hint(table, page_no);
+            return Ok(RowId::new(page_no, slot));
+        }
+    }
+    let id = txn.allocate_page(table, PageSpace::Heap)?;
+    let slot = txn.write_page(id, |d| {
+        slotted::init(d);
+        slotted::insert(d, &bytes)
+    })?;
+    let slot = slot.ok_or_else(|| DmvError::Storage("fresh page rejected insert".into()))?;
+    txn.db().set_insert_hint(table, id.page_no);
+    Ok(RowId::new(id.page_no, slot))
+}
+
+/// Reads the row at `rid`, or `None` if the slot is dead.
+///
+/// # Errors
+///
+/// Propagates lock/version errors and decode failures.
+pub fn read(txn: &mut Txn<'_>, table: TableId, rid: RowId) -> DmvResult<Option<Row>> {
+    let id = PageId::heap(table, rid.page_no);
+    let bytes = txn.read_page(id, |d| slotted::read(d, rid.slot).map(<[u8]>::to_vec))?;
+    match bytes {
+        Some(b) => Ok(Some(decode_row(&b)?)),
+        None => Ok(None),
+    }
+}
+
+/// Replaces the row at `rid`, relocating it if it no longer fits its
+/// page. Returns the row's (possibly new) id.
+///
+/// # Errors
+///
+/// `NotFound` if the slot is dead; propagates lock/storage errors.
+pub fn update(txn: &mut Txn<'_>, table: TableId, rid: RowId, row: &Row) -> DmvResult<RowId> {
+    let bytes = encode_row(row);
+    let id = PageId::heap(table, rid.page_no);
+    let in_place = txn.write_page(id, |d| {
+        if slotted::read(d, rid.slot).is_none() {
+            None
+        } else {
+            Some(slotted::update(d, rid.slot, &bytes))
+        }
+    })?;
+    match in_place {
+        None => Err(DmvError::NotFound(format!("row {rid}"))),
+        Some(true) => Ok(rid),
+        Some(false) => {
+            // Relocate: delete here, insert elsewhere.
+            txn.write_page(id, |d| slotted::delete(d, rid.slot))?;
+            insert(txn, table, row)
+        }
+    }
+}
+
+/// Deletes the row at `rid`.
+///
+/// # Errors
+///
+/// `NotFound` if the slot is already dead.
+pub fn delete(txn: &mut Txn<'_>, table: TableId, rid: RowId) -> DmvResult<()> {
+    let id = PageId::heap(table, rid.page_no);
+    let ok = txn.write_page(id, |d| slotted::delete(d, rid.slot))?;
+    if ok {
+        Ok(())
+    } else {
+        Err(DmvError::NotFound(format!("row {rid}")))
+    }
+}
+
+/// All live rows of the table, page by page.
+///
+/// # Errors
+///
+/// Propagates lock/version errors and decode failures.
+pub fn scan(txn: &mut Txn<'_>, table: TableId) -> DmvResult<Vec<(RowId, Row)>> {
+    let count = txn.heap_page_count(table);
+    let mut out = Vec::new();
+    for page_no in 0..count {
+        let id = PageId::heap(table, page_no);
+        let recs: Vec<(u16, Vec<u8>)> = txn.read_page(id, |d| {
+            slotted::live_slots(d)
+                .map(|s| (s, slotted::read(d, s).expect("live slot").to_vec()))
+                .collect()
+        })?;
+        for (slot, bytes) in recs {
+            out.push((RowId::new(page_no, slot), decode_row(&bytes)?));
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,500 @@
+//! Page-based B+Tree indexes.
+//!
+//! Index nodes are serialized into ordinary pages of the owning table's
+//! index space, so **index maintenance is page modification**: splits and
+//! key inserts are captured by the transaction's undo/diff machinery and
+//! replicate to slaves exactly like heap data. (The paper attributes the
+//! master's saturation under the ordering mix to "costly index updates
+//! ... due to rebalancing for inserts" — the same effect arises here.)
+//!
+//! Entries are ordered by `(key, row id)`, which makes non-unique keys
+//! unambiguous. Deletes do not rebalance (TPC-W's delete rate is zero);
+//! empty leaves are tolerated and skipped by scans.
+
+use crate::txn::Txn;
+use dmv_common::error::{DmvError, DmvResult};
+use dmv_common::ids::{PageId, PageSpace, RowId, TableId};
+use dmv_pagestore::PAGE_SIZE;
+use dmv_sql::row::{decode_row, encode_row, Row};
+use dmv_sql::value::Value;
+use std::cmp::Ordering;
+
+const NODE_LEAF: u8 = 0;
+const NODE_INTERNAL: u8 = 1;
+const NODE_META: u8 = 2;
+
+/// An index entry: full key plus the row it points at.
+pub type Entry = (Row, RowId);
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Meta { root: u32 },
+    Leaf { next: Option<u32>, entries: Vec<Entry> },
+    Internal { keys: Vec<Entry>, children: Vec<u32> },
+}
+
+fn entry_encoded_len(e: &Entry) -> usize {
+    2 + encode_row(&e.0).len() + 6
+}
+
+fn leaf_size(entries: &[Entry]) -> usize {
+    7 + entries.iter().map(entry_encoded_len).sum::<usize>()
+}
+
+fn internal_size(keys: &[Entry], children: &[u32]) -> usize {
+    3 + 4 * children.len() + keys.iter().map(entry_encoded_len).sum::<usize>()
+}
+
+fn put_u16(d: &mut [u8], at: usize, v: u16) {
+    d[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(d: &mut [u8], at: usize, v: u32) {
+    d[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u16(d: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([d[at], d[at + 1]])
+}
+
+fn get_u32(d: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([d[at], d[at + 1], d[at + 2], d[at + 3]])
+}
+
+fn write_entry(d: &mut [u8], at: &mut usize, e: &Entry) {
+    let kb = encode_row(&e.0);
+    put_u16(d, *at, kb.len() as u16);
+    d[*at + 2..*at + 2 + kb.len()].copy_from_slice(&kb);
+    *at += 2 + kb.len();
+    put_u32(d, *at, e.1.page_no);
+    put_u16(d, *at + 4, e.1.slot);
+    *at += 6;
+}
+
+fn read_entry(d: &[u8], at: &mut usize) -> DmvResult<Entry> {
+    let klen = get_u16(d, *at) as usize;
+    let key = decode_row(&d[*at + 2..*at + 2 + klen])?;
+    *at += 2 + klen;
+    let rid = RowId::new(get_u32(d, *at), get_u16(d, *at + 4));
+    *at += 6;
+    Ok((key, rid))
+}
+
+fn encode_node(node: &Node, d: &mut [u8]) {
+    match node {
+        Node::Meta { root } => {
+            d[0] = NODE_META;
+            put_u32(d, 1, *root);
+        }
+        Node::Leaf { next, entries } => {
+            debug_assert!(leaf_size(entries) <= PAGE_SIZE, "leaf overflow");
+            d[0] = NODE_LEAF;
+            put_u16(d, 1, entries.len() as u16);
+            put_u32(d, 3, next.map_or(0, |n| n + 1));
+            let mut at = 7;
+            for e in entries {
+                write_entry(d, &mut at, e);
+            }
+        }
+        Node::Internal { keys, children } => {
+            debug_assert!(internal_size(keys, children) <= PAGE_SIZE, "internal overflow");
+            debug_assert_eq!(children.len(), keys.len() + 1);
+            d[0] = NODE_INTERNAL;
+            put_u16(d, 1, keys.len() as u16);
+            let mut at = 3;
+            for c in children {
+                put_u32(d, at, *c);
+                at += 4;
+            }
+            for k in keys {
+                write_entry(d, &mut at, k);
+            }
+        }
+    }
+}
+
+fn decode_node(d: &[u8]) -> DmvResult<Node> {
+    match d[0] {
+        NODE_META => Ok(Node::Meta { root: get_u32(d, 1) }),
+        NODE_LEAF => {
+            let n = get_u16(d, 1) as usize;
+            let next_raw = get_u32(d, 3);
+            let next = if next_raw == 0 { None } else { Some(next_raw - 1) };
+            let mut at = 7;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(read_entry(d, &mut at)?);
+            }
+            Ok(Node::Leaf { next, entries })
+        }
+        NODE_INTERNAL => {
+            let n = get_u16(d, 1) as usize;
+            let mut at = 3;
+            let mut children = Vec::with_capacity(n + 1);
+            for _ in 0..=n {
+                children.push(get_u32(d, at));
+                at += 4;
+            }
+            let mut keys = Vec::with_capacity(n);
+            for _ in 0..n {
+                keys.push(read_entry(d, &mut at)?);
+            }
+            Ok(Node::Internal { keys, children })
+        }
+        t => Err(DmvError::Storage(format!("bad index node type {t}"))),
+    }
+}
+
+/// Full-entry ordering: key, then row id.
+fn cmp_entry(a: &Entry, b: &Entry) -> Ordering {
+    a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1))
+}
+
+/// Compares an entry's key against a probe *prefix* (for range bounds
+/// expressed on a prefix of the index columns).
+fn prefix_cmp(entry_key: &[Value], probe: &[Value]) -> Ordering {
+    let n = probe.len().min(entry_key.len());
+    entry_key[..n].cmp(&probe[..n])
+}
+
+/// A B+Tree index handle (stateless; all state is in pages).
+#[derive(Debug, Clone, Copy)]
+pub struct BTreeIndex {
+    table: TableId,
+    index_no: u8,
+}
+
+impl BTreeIndex {
+    /// Handle for index `index_no` of `table`.
+    pub fn new(table: TableId, index_no: u8) -> Self {
+        BTreeIndex { table, index_no }
+    }
+
+    fn space(&self) -> PageSpace {
+        PageSpace::Index(self.index_no)
+    }
+
+    fn pid(&self, no: u32) -> PageId {
+        PageId { table: self.table, space: self.space(), page_no: no }
+    }
+
+    fn page_count(&self, txn: &Txn<'_>) -> u32 {
+        txn.db().store().allocated_count(self.table, self.space())
+    }
+
+    fn read_node(&self, txn: &mut Txn<'_>, no: u32) -> DmvResult<Node> {
+        txn.read_page(self.pid(no), decode_node)?
+    }
+
+    fn write_node(&self, txn: &mut Txn<'_>, no: u32, node: &Node) -> DmvResult<()> {
+        txn.write_page(self.pid(no), |d| encode_node(node, d))
+    }
+
+    /// Allocates the meta page (page 0) and an empty root leaf (page 1)
+    /// on first use within an update transaction, so the initialization
+    /// itself replicates.
+    fn ensure_init(&self, txn: &mut Txn<'_>) -> DmvResult<()> {
+        if self.page_count(txn) > 0 {
+            return Ok(());
+        }
+        let meta = txn.allocate_page(self.table, self.space())?;
+        let root = txn.allocate_page(self.table, self.space())?;
+        debug_assert_eq!(meta.page_no, 0);
+        self.write_node(txn, meta.page_no, &Node::Meta { root: root.page_no })?;
+        self.write_node(txn, root.page_no, &Node::Leaf { next: None, entries: Vec::new() })
+    }
+
+    fn root(&self, txn: &mut Txn<'_>) -> DmvResult<u32> {
+        match self.read_node(txn, 0)? {
+            Node::Meta { root } => Ok(root),
+            _ => Err(DmvError::Storage("index page 0 is not a meta page".into())),
+        }
+    }
+
+    /// Inserts `(key, rid)`.
+    ///
+    /// Inserting the exact same `(key, rid)` twice is idempotent.
+    /// Uniqueness is enforced by the caller (engine layer) via
+    /// [`BTreeIndex::lookup_eq`] so that failed statements leave no trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock/storage errors; `Storage` if a single entry cannot
+    /// fit in a page.
+    pub fn insert(&self, txn: &mut Txn<'_>, key: &[Value], rid: RowId) -> DmvResult<()> {
+        let entry: Entry = (key.to_vec(), rid);
+        if entry_encoded_len(&entry) + 7 > PAGE_SIZE {
+            return Err(DmvError::Storage("index key too large for a page".into()));
+        }
+        self.ensure_init(txn)?;
+        let root = self.root(txn)?;
+        if let Some((sep, new_page)) = self.insert_rec(txn, root, entry)? {
+            let new_root = txn.allocate_page(self.table, self.space())?;
+            self.write_node(
+                txn,
+                new_root.page_no,
+                &Node::Internal { keys: vec![sep], children: vec![root, new_page] },
+            )?;
+            self.write_node(txn, 0, &Node::Meta { root: new_root.page_no })?;
+        }
+        Ok(())
+    }
+
+    fn insert_rec(
+        &self,
+        txn: &mut Txn<'_>,
+        page_no: u32,
+        entry: Entry,
+    ) -> DmvResult<Option<(Entry, u32)>> {
+        match self.read_node(txn, page_no)? {
+            Node::Leaf { next, mut entries } => {
+                match entries.binary_search_by(|e| cmp_entry(e, &entry)) {
+                    Ok(_) => return Ok(None), // exact duplicate: idempotent
+                    Err(pos) => entries.insert(pos, entry),
+                }
+                if leaf_size(&entries) <= PAGE_SIZE {
+                    self.write_node(txn, page_no, &Node::Leaf { next, entries })?;
+                    return Ok(None);
+                }
+                // Split.
+                let mid = entries.len() / 2;
+                let right: Vec<Entry> = entries.split_off(mid);
+                let sep = right[0].clone();
+                let new = txn.allocate_page(self.table, self.space())?;
+                self.write_node(txn, new.page_no, &Node::Leaf { next, entries: right })?;
+                self.write_node(
+                    txn,
+                    page_no,
+                    &Node::Leaf { next: Some(new.page_no), entries },
+                )?;
+                Ok(Some((sep, new.page_no)))
+            }
+            Node::Internal { mut keys, mut children } => {
+                let idx = keys.partition_point(|k| cmp_entry(k, &entry) != Ordering::Greater);
+                let split = self.insert_rec(txn, children[idx], entry)?;
+                let Some((sep, new_child)) = split else { return Ok(None) };
+                keys.insert(idx, sep);
+                children.insert(idx + 1, new_child);
+                if internal_size(&keys, &children) <= PAGE_SIZE {
+                    self.write_node(txn, page_no, &Node::Internal { keys, children })?;
+                    return Ok(None);
+                }
+                // Split the internal node; the middle key is promoted.
+                let mid = keys.len() / 2;
+                let promoted = keys[mid].clone();
+                let right_keys: Vec<Entry> = keys.split_off(mid + 1);
+                keys.pop(); // remove the promoted key from the left node
+                let right_children: Vec<u32> = children.split_off(mid + 1);
+                let new = txn.allocate_page(self.table, self.space())?;
+                self.write_node(
+                    txn,
+                    new.page_no,
+                    &Node::Internal { keys: right_keys, children: right_children },
+                )?;
+                self.write_node(txn, page_no, &Node::Internal { keys, children })?;
+                Ok(Some((promoted, new.page_no)))
+            }
+            Node::Meta { .. } => Err(DmvError::Storage("meta page inside tree".into())),
+        }
+    }
+
+    /// Removes `(key, rid)`. Returns whether the entry existed. No
+    /// rebalancing is performed (empty leaves are tolerated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock/storage errors.
+    pub fn delete(&self, txn: &mut Txn<'_>, key: &[Value], rid: RowId) -> DmvResult<bool> {
+        if self.page_count(txn) == 0 {
+            return Ok(false);
+        }
+        let probe: Entry = (key.to_vec(), rid);
+        let mut no = self.root(txn)?;
+        loop {
+            match self.read_node(txn, no)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| cmp_entry(k, &probe) != Ordering::Greater);
+                    no = children[idx];
+                }
+                Node::Leaf { next, mut entries } => {
+                    match entries.binary_search_by(|e| cmp_entry(e, &probe)) {
+                        Ok(pos) => {
+                            entries.remove(pos);
+                            self.write_node(txn, no, &Node::Leaf { next, entries })?;
+                            return Ok(true);
+                        }
+                        Err(_) => return Ok(false),
+                    }
+                }
+                Node::Meta { .. } => {
+                    return Err(DmvError::Storage("meta page inside tree".into()))
+                }
+            }
+        }
+    }
+
+    /// Leaf where entries with prefix `>= probe` begin (or the leftmost
+    /// leaf when `probe` is `None`).
+    fn find_start_leaf(&self, txn: &mut Txn<'_>, probe: Option<&[Value]>) -> DmvResult<u32> {
+        let mut no = self.root(txn)?;
+        loop {
+            match self.read_node(txn, no)? {
+                Node::Internal { keys, children } => {
+                    let idx = match probe {
+                        Some(p) => {
+                            keys.partition_point(|k| prefix_cmp(&k.0, p) == Ordering::Less)
+                        }
+                        None => 0,
+                    };
+                    no = children[idx];
+                }
+                Node::Leaf { .. } => return Ok(no),
+                Node::Meta { .. } => {
+                    return Err(DmvError::Storage("meta page inside tree".into()))
+                }
+            }
+        }
+    }
+
+    /// Entries with keys between the bounds (each a `(prefix, inclusive)`
+    /// pair), in key order — or reverse key order when `rev` is true.
+    /// `limit` bounds the number of returned entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock/version/storage errors.
+    pub fn range(
+        &self,
+        txn: &mut Txn<'_>,
+        lo: Option<(&[Value], bool)>,
+        hi: Option<(&[Value], bool)>,
+        rev: bool,
+        limit: Option<usize>,
+    ) -> DmvResult<Vec<Entry>> {
+        if self.page_count(txn) == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out: Vec<Entry> = Vec::new();
+        let mut no = self.find_start_leaf(txn, lo.map(|(k, _)| k))?;
+        'walk: loop {
+            let Node::Leaf { next, entries } = self.read_node(txn, no)? else {
+                return Err(DmvError::Storage("expected leaf during range scan".into()));
+            };
+            for e in entries {
+                if let Some((lo_k, inc)) = lo {
+                    match prefix_cmp(&e.0, lo_k) {
+                        Ordering::Less => continue,
+                        Ordering::Equal if !inc => continue,
+                        _ => {}
+                    }
+                }
+                if let Some((hi_k, inc)) = hi {
+                    match prefix_cmp(&e.0, hi_k) {
+                        Ordering::Greater => break 'walk,
+                        Ordering::Equal if !inc => break 'walk,
+                        _ => {}
+                    }
+                }
+                out.push(e);
+                if !rev {
+                    if let Some(n) = limit {
+                        if out.len() >= n {
+                            break 'walk;
+                        }
+                    }
+                }
+            }
+            match next {
+                Some(n) => no = n,
+                None => break,
+            }
+        }
+        if rev {
+            out.reverse();
+            if let Some(n) = limit {
+                out.truncate(n);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Row ids of entries whose key equals `key` exactly (on the probe's
+    /// prefix length).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock/version/storage errors.
+    pub fn lookup_eq(&self, txn: &mut Txn<'_>, key: &[Value]) -> DmvResult<Vec<RowId>> {
+        if self.page_count(txn) == 0 {
+            return Ok(Vec::new());
+        }
+        Ok(self
+            .range(txn, Some((key, true)), Some((key, true)), false, None)?
+            .into_iter()
+            .map(|(_, rid)| rid)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_codec_roundtrip() {
+        let mut page = vec![0u8; PAGE_SIZE];
+        let leaf = Node::Leaf {
+            next: Some(7),
+            entries: vec![
+                (vec![Value::Int(1)], RowId::new(0, 0)),
+                (vec![Value::from("abc")], RowId::new(3, 9)),
+            ],
+        };
+        encode_node(&leaf, &mut page);
+        assert_eq!(decode_node(&page).unwrap(), leaf);
+
+        let internal = Node::Internal {
+            keys: vec![(vec![Value::Int(5)], RowId::new(1, 1))],
+            children: vec![2, 3],
+        };
+        encode_node(&internal, &mut page);
+        assert_eq!(decode_node(&page).unwrap(), internal);
+
+        let meta = Node::Meta { root: 42 };
+        encode_node(&meta, &mut page);
+        assert_eq!(decode_node(&page).unwrap(), meta);
+    }
+
+    #[test]
+    fn leaf_next_none_roundtrip() {
+        let mut page = vec![0u8; PAGE_SIZE];
+        let leaf = Node::Leaf { next: None, entries: vec![] };
+        encode_node(&leaf, &mut page);
+        assert_eq!(decode_node(&page).unwrap(), leaf);
+    }
+
+    #[test]
+    fn bad_node_type_errors() {
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[0] = 77;
+        assert!(decode_node(&page).is_err());
+    }
+
+    #[test]
+    fn entry_ordering() {
+        let a: Entry = (vec![Value::Int(1)], RowId::new(0, 0));
+        let b: Entry = (vec![Value::Int(1)], RowId::new(0, 1));
+        let c: Entry = (vec![Value::Int(2)], RowId::new(0, 0));
+        assert_eq!(cmp_entry(&a, &b), Ordering::Less);
+        assert_eq!(cmp_entry(&b, &c), Ordering::Less);
+        assert_eq!(cmp_entry(&a, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn prefix_compare() {
+        let key = vec![Value::Int(3), Value::from("x")];
+        assert_eq!(prefix_cmp(&key, &[Value::Int(3)]), Ordering::Equal);
+        assert_eq!(prefix_cmp(&key, &[Value::Int(2)]), Ordering::Greater);
+        assert_eq!(prefix_cmp(&key, &[Value::Int(3), Value::from("y")]), Ordering::Less);
+    }
+}

@@ -1,0 +1,465 @@
+//! Transactions: per-page 2PL on masters, tagged lazy-version reads on
+//! slaves, undo/redo at page granularity, and write-set capture.
+//!
+//! The commit protocol follows the paper's Figure 2:
+//!
+//! 1. [`Txn::precommit`] computes the write-set (per-page byte diffs of
+//!    every dirty page) while all page locks are still held;
+//! 2. the replication layer increments the database version vector,
+//!    broadcasts the write-set and waits for acknowledgements;
+//! 3. [`Txn::commit`] stamps the dirty pages with their new table
+//!    versions, clears undo state and releases all locks.
+//!
+//! [`Txn::abort`] restores the before-image of every dirty page.
+
+use crate::engine::MemDb;
+use crate::heap;
+use crate::index::BTreeIndex;
+use crate::lock::LockMode;
+use dmv_common::error::{DmvError, DmvResult};
+use dmv_common::ids::{PageId, PageSpace, RowId, TableId, TxnId};
+use dmv_common::version::VersionVector;
+use dmv_pagestore::diff::PageDiff;
+use dmv_sql::exec::ExecContext;
+use dmv_sql::row::Row;
+use dmv_sql::schema::Schema;
+use dmv_sql::value::Value;
+use std::collections::HashMap;
+
+/// What kind of transaction this is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnMode {
+    /// Update transaction under per-page two-phase locking.
+    Update,
+    /// Read-only transaction reading the tagged database version through
+    /// the engine's [`crate::ReadGate`].
+    ReadTagged(VersionVector),
+    /// Untagged latched reads (stand-alone use).
+    ReadLocal,
+}
+
+/// An open transaction on a [`MemDb`].
+///
+/// Dropping an unfinished transaction aborts it.
+pub struct Txn<'db> {
+    db: &'db MemDb,
+    id: TxnId,
+    mode: TxnMode,
+    undo: HashMap<PageId, Vec<u8>>,
+    dirty_order: Vec<PageId>,
+    cpu_owed: std::time::Duration,
+    write_intent: bool,
+    finished: bool,
+}
+
+impl<'db> Txn<'db> {
+    pub(crate) fn new(db: &'db MemDb, id: TxnId, mode: TxnMode) -> Self {
+        Txn {
+            db,
+            id,
+            mode,
+            undo: HashMap::new(),
+            dirty_order: Vec::new(),
+            cpu_owed: std::time::Duration::ZERO,
+            write_intent: false,
+            finished: false,
+        }
+    }
+
+    /// The transaction id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The transaction mode.
+    pub fn mode(&self) -> &TxnMode {
+        &self.mode
+    }
+
+    /// The engine this transaction runs on.
+    pub fn db(&self) -> &'db MemDb {
+        self.db
+    }
+
+    /// Reads page `id` under the mode's consistency protocol and applies
+    /// `f` to its bytes.
+    ///
+    /// # Errors
+    ///
+    /// `Deadlock` on lock timeout (update mode), `VersionConflict` if the
+    /// page cannot serve the transaction's tag (tagged mode), `Storage`
+    /// if the page does not exist.
+    pub(crate) fn read_page<R>(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> DmvResult<R> {
+        match &self.mode {
+            TxnMode::Update => {
+                // Under declared write intent, heap/index pages are
+                // locked exclusively up front: S→X upgrades between two
+                // updaters of the same page would deadlock every time.
+                let mode = if self.write_intent { LockMode::Exclusive } else { LockMode::Shared };
+                self.db.locks().acquire(self.id, id, mode)?;
+                let cell = self
+                    .db
+                    .store()
+                    .get(id)
+                    .ok_or_else(|| DmvError::Storage(format!("missing page {id}")))?;
+                self.db.store().fault_in(&cell);
+                let page = cell.latch.read();
+                Ok(f(page.data()))
+            }
+            TxnMode::ReadTagged(tag) => {
+                let tag = tag.clone();
+                let cell = self.db.store().get_or_create(id);
+                self.db.store().fault_in(&cell);
+                self.db.gate().prepare_read(id, &cell, &tag)?;
+                let page = cell.latch.read();
+                // Re-check under the read latch: a concurrent reader with
+                // a higher tag may have upgraded the page after the gate
+                // returned (the paper's abort case).
+                let want = tag.get(id.table);
+                if page.version > want {
+                    return Err(DmvError::VersionConflict {
+                        page: id,
+                        wanted: want,
+                        found: page.version,
+                    });
+                }
+                Ok(f(page.data()))
+            }
+            TxnMode::ReadLocal => {
+                let cell = self
+                    .db
+                    .store()
+                    .get(id)
+                    .ok_or_else(|| DmvError::Storage(format!("missing page {id}")))?;
+                self.db.store().fault_in(&cell);
+                let page = cell.latch.read();
+                Ok(f(page.data()))
+            }
+        }
+    }
+
+    /// Writes page `id` under an exclusive lock, capturing the undo image
+    /// on first touch.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidTxnState` outside update mode; `Deadlock` on lock timeout.
+    pub(crate) fn write_page<R>(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> DmvResult<R> {
+        if self.mode != TxnMode::Update {
+            return Err(DmvError::InvalidTxnState("writes require an update transaction".into()));
+        }
+        self.db.locks().acquire(self.id, id, LockMode::Exclusive)?;
+        let cell = self
+            .db
+            .store()
+            .get(id)
+            .ok_or_else(|| DmvError::Storage(format!("missing page {id}")))?;
+        self.db.store().fault_in(&cell);
+        let mut page = cell.latch.write();
+        if !self.undo.contains_key(&id) {
+            self.undo.insert(id, page.data().to_vec());
+            self.dirty_order.push(id);
+            cell.set_dirty(true);
+        }
+        Ok(f(page.data_mut()))
+    }
+
+    /// Peeks at page bytes under the latch only — no 2PL lock, no
+    /// version materialization. Used as a *hint* (e.g. free-space checks
+    /// before choosing an insert target); any decision taken from a peek
+    /// must be revalidated under a real lock.
+    pub(crate) fn peek_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        let cell = self.db.store().get(id)?;
+        let page = cell.latch.read();
+        Some(f(page.data()))
+    }
+
+    /// Allocates a fresh page (update mode only) already exclusive-locked
+    /// and tracked for undo.
+    pub(crate) fn allocate_page(&mut self, table: TableId, space: PageSpace) -> DmvResult<PageId> {
+        if self.mode != TxnMode::Update {
+            return Err(DmvError::InvalidTxnState(
+                "allocation requires an update transaction".into(),
+            ));
+        }
+        let (id, cell) = self.db.store().allocate(table, space);
+        self.db.locks().acquire(self.id, id, LockMode::Exclusive)?;
+        let page = cell.latch.read();
+        self.undo.insert(id, page.data().to_vec());
+        drop(page);
+        self.dirty_order.push(id);
+        cell.set_dirty(true);
+        Ok(id)
+    }
+
+    /// Accrues CPU cost, to be settled in one charge at the next
+    /// statement boundary (thousands of microsecond-scale charges per
+    /// query would drown in OS timer overhead).
+    fn owe(&mut self, d: std::time::Duration) {
+        self.cpu_owed += d;
+    }
+
+    fn settle_cpu(&mut self) {
+        let owed = std::mem::take(&mut self.cpu_owed);
+        self.db.charge_duration(owed);
+    }
+
+    /// Number of heap pages of `table` this transaction can see.
+    pub(crate) fn heap_page_count(&self, table: TableId) -> u32 {
+        self.db.store().allocated_count(table, PageSpace::Heap)
+    }
+
+    /// True if the transaction has modified any page.
+    pub fn has_writes(&self) -> bool {
+        !self.dirty_order.is_empty()
+    }
+
+    /// Tables with at least one dirty page — the write-set's table set,
+    /// whose version-vector entries the master increments at commit.
+    pub fn write_tables(&self) -> Vec<TableId> {
+        let mut v: Vec<TableId> = self.dirty_order.iter().map(|p| p.table).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Computes the write-set: one byte diff per dirty page, in first-
+    /// write order. Locks remain held; the transaction can still abort.
+    pub fn precommit(&mut self) -> Vec<(PageId, PageDiff)> {
+        let mut out = Vec::with_capacity(self.dirty_order.len());
+        for &id in &self.dirty_order {
+            let Some(cell) = self.db.store().get(id) else { continue };
+            let page = cell.latch.read();
+            let diff = PageDiff::compute(&self.undo[&id], page.data());
+            if !diff.is_empty() {
+                out.push((id, diff));
+            }
+        }
+        out
+    }
+
+    /// Commits: stamps dirty pages with their new table versions (when
+    /// the replication layer assigned any), clears dirty flags and undo
+    /// state, and releases all locks.
+    pub fn commit(mut self, versions: Option<&VersionVector>) {
+        self.settle_cpu();
+        for &id in &self.dirty_order {
+            if let Some(cell) = self.db.store().get(id) {
+                if let Some(vv) = versions {
+                    cell.latch.write().version = vv.get(id.table);
+                }
+                cell.set_dirty(false);
+            }
+        }
+        self.undo.clear();
+        self.dirty_order.clear();
+        self.db.locks().release_all(self.id);
+        self.finished = true;
+    }
+
+    /// Aborts: restores every dirty page's before-image and releases all
+    /// locks.
+    pub fn abort(mut self) {
+        self.rollback_inner();
+    }
+
+    fn rollback_inner(&mut self) {
+        self.settle_cpu();
+        for &id in &self.dirty_order {
+            if let Some(cell) = self.db.store().get(id) {
+                let mut page = cell.latch.write();
+                if let Some(before) = self.undo.get(&id) {
+                    page.data_mut().copy_from_slice(before);
+                }
+                drop(page);
+                cell.set_dirty(false);
+            }
+        }
+        self.undo.clear();
+        self.dirty_order.clear();
+        self.db.locks().release_all(self.id);
+        self.finished = true;
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.rollback_inner();
+        }
+    }
+}
+
+impl std::fmt::Debug for Txn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("id", &self.id)
+            .field("mode", &self.mode)
+            .field("dirty_pages", &self.dirty_order.len())
+            .finish()
+    }
+}
+
+impl ExecContext for Txn<'_> {
+    fn schema(&self) -> &Schema {
+        self.db.schema()
+    }
+
+    fn scan(&mut self, table: TableId) -> DmvResult<Vec<(RowId, Row)>> {
+        let rows = heap::scan(self, table)?;
+        self.owe(self.db.cost_scan(rows.len()));
+        Ok(rows)
+    }
+
+    fn index_lookup(
+        &mut self,
+        table: TableId,
+        index_no: u8,
+        key: &[Value],
+    ) -> DmvResult<Vec<(RowId, Row)>> {
+        self.owe(self.db.cost_probe());
+        let ix = BTreeIndex::new(table, index_no);
+        let rids = ix.lookup_eq(self, key)?;
+        let mut out = Vec::with_capacity(rids.len());
+        for rid in rids {
+            if let Some(row) = heap::read(self, table, rid)? {
+                out.push((rid, row));
+            }
+        }
+        self.owe(self.db.cost_scan(out.len()));
+        Ok(out)
+    }
+
+    fn index_range(
+        &mut self,
+        table: TableId,
+        index_no: u8,
+        lo: Option<(&[Value], bool)>,
+        hi: Option<(&[Value], bool)>,
+        rev: bool,
+        limit: Option<usize>,
+    ) -> DmvResult<Vec<(RowId, Row)>> {
+        self.owe(self.db.cost_probe());
+        let ix = BTreeIndex::new(table, index_no);
+        let entries = ix.range(self, lo, hi, rev, limit)?;
+        let mut out = Vec::with_capacity(entries.len());
+        for (_, rid) in entries {
+            if let Some(row) = heap::read(self, table, rid)? {
+                out.push((rid, row));
+            }
+        }
+        self.owe(self.db.cost_scan(out.len()));
+        Ok(out)
+    }
+
+    fn insert(&mut self, table: TableId, row: Row) -> DmvResult<RowId> {
+        // The whole write path (unique probes, index descents, heap
+        // insert) runs under write intent: probing a leaf with S and
+        // then upgrading to X deadlocks against a concurrent inserter.
+        let prev = self.write_intent;
+        self.write_intent = true;
+        let out = self.insert_inner(table, row);
+        self.write_intent = prev;
+        out
+    }
+
+    fn update(&mut self, table: TableId, rid: RowId, row: Row) -> DmvResult<()> {
+        let prev = self.write_intent;
+        self.write_intent = true;
+        let out = self.update_inner(table, rid, row);
+        self.write_intent = prev;
+        out
+    }
+
+    fn delete(&mut self, table: TableId, rid: RowId) -> DmvResult<()> {
+        let prev = self.write_intent;
+        self.write_intent = true;
+        let out = self.delete_inner(table, rid);
+        self.write_intent = prev;
+        out
+    }
+
+    fn flush_costs(&mut self) {
+        self.settle_cpu();
+    }
+
+    fn set_write_intent(&mut self, on: bool) {
+        self.write_intent = on;
+    }
+}
+
+impl Txn<'_> {
+    fn insert_inner(&mut self, table: TableId, row: Row) -> DmvResult<RowId> {
+        let ts = self.db.schema().table(table)?.clone();
+        // Unique checks before any mutation, so a duplicate leaves no
+        // trace even within this transaction.
+        for (ix_no, ix) in ts.indexes.iter().enumerate() {
+            if ix.unique {
+                let key = ix.key_of(&row);
+                let hits = BTreeIndex::new(table, ix_no as u8).lookup_eq(self, &key)?;
+                if !hits.is_empty() {
+                    return Err(DmvError::DuplicateKey(format!("{} on {}", ix.name, ts.name)));
+                }
+            }
+        }
+        let rid = heap::insert(self, table, &row)?;
+        for (ix_no, ix) in ts.indexes.iter().enumerate() {
+            BTreeIndex::new(table, ix_no as u8).insert(self, &ix.key_of(&row), rid)?;
+        }
+        self.owe(self.db.cost_write(1));
+        Ok(rid)
+    }
+
+    fn update_inner(&mut self, table: TableId, rid: RowId, row: Row) -> DmvResult<()> {
+        let ts = self.db.schema().table(table)?.clone();
+        let old = heap::read(self, table, rid)?
+            .ok_or_else(|| DmvError::NotFound(format!("row {rid} in {}", ts.name)))?;
+        // Unique checks for keys that change.
+        for (ix_no, ix) in ts.indexes.iter().enumerate() {
+            if ix.unique {
+                let new_key = ix.key_of(&row);
+                if new_key != ix.key_of(&old) {
+                    let hits = BTreeIndex::new(table, ix_no as u8).lookup_eq(self, &new_key)?;
+                    if !hits.is_empty() {
+                        return Err(DmvError::DuplicateKey(format!(
+                            "{} on {}",
+                            ix.name, ts.name
+                        )));
+                    }
+                }
+            }
+        }
+        let new_rid = heap::update(self, table, rid, &row)?;
+        for (ix_no, ix) in ts.indexes.iter().enumerate() {
+            let btree = BTreeIndex::new(table, ix_no as u8);
+            let old_key = ix.key_of(&old);
+            let new_key = ix.key_of(&row);
+            if old_key != new_key || new_rid != rid {
+                btree.delete(self, &old_key, rid)?;
+                btree.insert(self, &new_key, new_rid)?;
+            }
+        }
+        self.owe(self.db.cost_write(1));
+        Ok(())
+    }
+
+    fn delete_inner(&mut self, table: TableId, rid: RowId) -> DmvResult<()> {
+        let ts = self.db.schema().table(table)?.clone();
+        let old = heap::read(self, table, rid)?
+            .ok_or_else(|| DmvError::NotFound(format!("row {rid} in {}", ts.name)))?;
+        heap::delete(self, table, rid)?;
+        for (ix_no, ix) in ts.indexes.iter().enumerate() {
+            BTreeIndex::new(table, ix_no as u8).delete(self, &ix.key_of(&old), rid)?;
+        }
+        self.owe(self.db.cost_write(1));
+        Ok(())
+    }
+}

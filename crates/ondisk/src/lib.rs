@@ -1,0 +1,29 @@
+//! # dmv-ondisk
+//!
+//! The on-disk database engine — this reproduction's analogue of the
+//! paper's **MySQL/InnoDB** back-end, used three ways:
+//!
+//! 1. as the stand-alone baseline of Figure 3 (serializable concurrency
+//!    control, buffer pool, WAL with commit-time fsync);
+//! 2. as the replicated on-disk tier of the Figure 5/6 fail-over
+//!    baseline (eager actives + periodically refreshed passive spare,
+//!    binlog replay on fail-over — see [`tier::InnoDbTier`]);
+//! 3. as the persistence back-end of the DMV middleware (paper §4.6).
+//!
+//! Storage reuses the page/heap/B+Tree machinery of `dmv-memdb`; what
+//! makes it "on disk" is the cost model: a bounded **buffer pool** whose
+//! misses charge a simulated random-read latency, commit-time **fsync**,
+//! and sequential-read charges for WAL/binlog replay. The disk itself is
+//! simulated (an in-process latency model) because the authors' hardware
+//! is unavailable; the *ratios* between disk, network and CPU costs are
+//! what the reproduced figures depend on.
+
+pub mod binlog;
+pub mod engine;
+pub mod tier;
+pub mod wal;
+
+pub use binlog::{Binlog, BinlogRecord};
+pub use engine::{DiskDb, DiskDbOptions};
+pub use tier::InnoDbTier;
+pub use wal::{Wal, WalRecord};

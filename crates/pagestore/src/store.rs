@@ -1,0 +1,335 @@
+//! Concurrent page store with per-page latches and an mmap-style
+//! residency model.
+//!
+//! Every replica's database (heap pages + index pages of every table)
+//! lives in one `PageStore`. Pages are latched individually with
+//! reader-writer locks — the per-page granularity is what lets different
+//! read-only transactions materialize different versions of *different*
+//! pages concurrently on the same replica.
+//!
+//! The **residency** model reproduces the paper's buffer-cache effects:
+//! the in-memory databases mmap an on-disk image, so a page's first touch
+//! on a cold replica incurs a page-in. [`PageStore::fault_in`] charges
+//! that cost (in scaled paper time) for non-resident pages; fail-over
+//! warmup strategies work by making spare backups touch pages ahead of
+//! time.
+
+use crate::page::Page;
+use dmv_common::clock::SimClock;
+use dmv_common::ids::{PageId, PageSpace, TableId};
+use dmv_common::throttle::Throttle;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A page plus its latch and residency/dirtiness metadata.
+#[derive(Debug)]
+pub struct PageCell {
+    /// Reader-writer latch protecting the page image and version.
+    pub latch: RwLock<Page>,
+    resident: AtomicBool,
+    dirty: AtomicBool,
+}
+
+impl PageCell {
+    fn new(page: Page, resident: bool) -> Self {
+        PageCell {
+            latch: RwLock::new(page),
+            resident: AtomicBool::new(resident),
+            dirty: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the page is currently in (simulated) physical memory.
+    pub fn is_resident(&self) -> bool {
+        self.resident.load(Ordering::Acquire)
+    }
+
+    /// Marks the page resident (a touch) or non-resident (eviction).
+    pub fn set_resident(&self, r: bool) {
+        self.resident.store(r, Ordering::Release);
+    }
+
+    /// Whether the page holds uncommitted modifications. Dirty pages are
+    /// skipped by fuzzy checkpoints (paper §4.4).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Acquire)
+    }
+
+    /// Sets the uncommitted-modification flag.
+    pub fn set_dirty(&self, d: bool) {
+        self.dirty.store(d, Ordering::Release);
+    }
+}
+
+/// Residency cost model: what a page-in costs in paper time.
+///
+/// Page-ins go through a [`Throttle`] modeling the node's single disk
+/// arm: concurrent faults queue rather than overlapping, so warming a
+/// large cold cache takes proportional time (the paper's cache-warmup
+/// phases).
+#[derive(Debug, Clone)]
+pub struct Residency {
+    throttle: Throttle,
+    fault_latency: Duration,
+}
+
+impl Residency {
+    /// A model charging `fault_latency` (paper time) per page-in on a
+    /// dedicated single-arm disk.
+    pub fn new(clock: SimClock, fault_latency: Duration) -> Self {
+        Residency { throttle: Throttle::new(clock, 1), fault_latency }
+    }
+
+    /// A model sharing an existing disk throttle (e.g. with the node's
+    /// WAL).
+    pub fn with_throttle(throttle: Throttle, fault_latency: Duration) -> Self {
+        Residency { throttle, fault_latency }
+    }
+
+    /// A free model for pure-logic tests: faults cost nothing.
+    pub fn free() -> Self {
+        Residency { throttle: Throttle::new(SimClock::default(), 1), fault_latency: Duration::ZERO }
+    }
+
+    /// The configured fault latency.
+    pub fn fault_latency(&self) -> Duration {
+        self.fault_latency
+    }
+
+    fn charge(&self) {
+        self.throttle.charge(self.fault_latency);
+    }
+}
+
+/// Concurrent page map for one replica's database.
+#[derive(Debug)]
+pub struct PageStore {
+    pages: RwLock<HashMap<PageId, Arc<PageCell>>>,
+    next_page_no: Mutex<HashMap<(TableId, PageSpace), u32>>,
+    residency: Residency,
+    faults: AtomicU64,
+}
+
+impl PageStore {
+    /// Creates an empty store with the given residency model.
+    pub fn new(residency: Residency) -> Self {
+        PageStore {
+            pages: RwLock::new(HashMap::new()),
+            next_page_no: Mutex::new(HashMap::new()),
+            residency,
+            faults: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a store with a free residency model (for tests).
+    pub fn new_free() -> Self {
+        Self::new(Residency::free())
+    }
+
+    /// Allocates the next page in `(table, space)`. The fresh page is
+    /// zeroed, resident, at version 0.
+    pub fn allocate(&self, table: TableId, space: PageSpace) -> (PageId, Arc<PageCell>) {
+        let mut next = self.next_page_no.lock();
+        let counter = next.entry((table, space)).or_insert(0);
+        let id = PageId { table, space, page_no: *counter };
+        *counter += 1;
+        drop(next);
+        let cell = Arc::new(PageCell::new(Page::new(), true));
+        self.pages.write().insert(id, Arc::clone(&cell));
+        (id, cell)
+    }
+
+    /// Looks up a page.
+    pub fn get(&self, id: PageId) -> Option<Arc<PageCell>> {
+        self.pages.read().get(&id).cloned()
+    }
+
+    /// Looks up a page, creating a zeroed resident page if absent.
+    ///
+    /// Slaves use this when a replicated write-set references a page the
+    /// master allocated; the local allocation counter is advanced so a
+    /// later promotion to master continues from the right page number.
+    pub fn get_or_create(&self, id: PageId) -> Arc<PageCell> {
+        if let Some(c) = self.get(id) {
+            return c;
+        }
+        let mut pages = self.pages.write();
+        let cell = pages
+            .entry(id)
+            .or_insert_with(|| Arc::new(PageCell::new(Page::new(), true)))
+            .clone();
+        drop(pages);
+        let mut next = self.next_page_no.lock();
+        let counter = next.entry((id.table, id.space)).or_insert(0);
+        if *counter <= id.page_no {
+            *counter = id.page_no + 1;
+        }
+        cell
+    }
+
+    /// Number of pages allocated (or mirrored) in `(table, space)` —
+    /// i.e. valid page numbers are `0..allocated_count(..)`.
+    pub fn allocated_count(&self, table: TableId, space: PageSpace) -> u32 {
+        *self.next_page_no.lock().get(&(table, space)).unwrap_or(&0)
+    }
+
+    /// True if the page exists.
+    pub fn contains(&self, id: PageId) -> bool {
+        self.pages.read().contains_key(&id)
+    }
+
+    /// Snapshot of all page ids (unordered).
+    pub fn page_ids(&self) -> Vec<PageId> {
+        self.pages.read().keys().copied().collect()
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    /// True if the store holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.pages.read().is_empty()
+    }
+
+    /// Ensures `cell` is resident, charging the page-in cost if it was
+    /// not. Returns `true` if a fault was taken.
+    pub fn fault_in(&self, cell: &PageCell) -> bool {
+        if cell.is_resident() {
+            return false;
+        }
+        self.residency.charge();
+        cell.set_resident(true);
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Total page faults taken so far.
+    pub fn fault_count(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident pages.
+    pub fn resident_count(&self) -> usize {
+        self.pages.read().values().filter(|c| c.is_resident()).count()
+    }
+
+    /// Marks every page non-resident (a completely cold cache, as on a
+    /// just-booted or long-idle spare backup).
+    pub fn evict_all(&self) {
+        for c in self.pages.read().values() {
+            c.set_resident(false);
+        }
+    }
+
+    /// The residency model.
+    pub fn residency(&self) -> &Residency {
+        &self.residency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmv_common::clock::TimeScale;
+
+    #[test]
+    fn allocate_sequential_page_numbers() {
+        let s = PageStore::new_free();
+        let (a, _) = s.allocate(TableId(0), PageSpace::Heap);
+        let (b, _) = s.allocate(TableId(0), PageSpace::Heap);
+        let (c, _) = s.allocate(TableId(0), PageSpace::Index(0));
+        assert_eq!(a.page_no, 0);
+        assert_eq!(b.page_no, 1);
+        assert_eq!(c.page_no, 0, "index space has its own counter");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn get_or_create_advances_allocator() {
+        let s = PageStore::new_free();
+        let id = PageId::heap(TableId(1), 5);
+        let _ = s.get_or_create(id);
+        assert!(s.contains(id));
+        let (next, _) = s.allocate(TableId(1), PageSpace::Heap);
+        assert_eq!(next.page_no, 6, "allocation must skip mirrored pages");
+    }
+
+    #[test]
+    fn get_or_create_is_idempotent() {
+        let s = PageStore::new_free();
+        let id = PageId::heap(TableId(0), 0);
+        let a = s.get_or_create(id);
+        let b = s.get_or_create(id);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn fault_in_charges_once() {
+        let s = PageStore::new_free();
+        let (_, cell) = s.allocate(TableId(0), PageSpace::Heap);
+        assert!(!s.fault_in(&cell), "fresh pages are resident");
+        cell.set_resident(false);
+        assert!(s.fault_in(&cell));
+        assert!(!s.fault_in(&cell));
+        assert_eq!(s.fault_count(), 1);
+    }
+
+    #[test]
+    fn evict_all_makes_cold() {
+        let s = PageStore::new_free();
+        for _ in 0..5 {
+            s.allocate(TableId(0), PageSpace::Heap);
+        }
+        assert_eq!(s.resident_count(), 5);
+        s.evict_all();
+        assert_eq!(s.resident_count(), 0);
+    }
+
+    #[test]
+    fn fault_latency_is_charged_in_scaled_time() {
+        let clock = SimClock::new(TimeScale::new(0.001)); // 1 paper-s = 1 ms
+        let s = PageStore::new(Residency::new(clock, Duration::from_secs(2)));
+        let (_, cell) = s.allocate(TableId(0), PageSpace::Heap);
+        cell.set_resident(false);
+        let t0 = std::time::Instant::now();
+        s.fault_in(&cell);
+        assert!(t0.elapsed() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn dirty_flag_roundtrip() {
+        let s = PageStore::new_free();
+        let (_, cell) = s.allocate(TableId(0), PageSpace::Heap);
+        assert!(!cell.is_dirty());
+        cell.set_dirty(true);
+        assert!(cell.is_dirty());
+        cell.set_dirty(false);
+        assert!(!cell.is_dirty());
+    }
+
+    #[test]
+    fn concurrent_readers_share_latch() {
+        let s = PageStore::new_free();
+        let (_, cell) = s.allocate(TableId(0), PageSpace::Heap);
+        let g1 = cell.latch.read();
+        let g2 = cell.latch.try_read();
+        assert!(g2.is_some());
+        drop(g1);
+    }
+
+    #[test]
+    fn writer_excludes_readers() {
+        let s = PageStore::new_free();
+        let (_, cell) = s.allocate(TableId(0), PageSpace::Heap);
+        let w = cell.latch.write();
+        assert!(cell.latch.try_read().is_none());
+        drop(w);
+        assert!(cell.latch.try_read().is_some());
+    }
+}

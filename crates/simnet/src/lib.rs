@@ -1,0 +1,388 @@
+//! # dmv-simnet
+//!
+//! In-process cluster network. The paper's testbed is a 19-node switched
+//! LAN; here every node is a set of threads inside one process, and links
+//! are typed channels with a modeled latency:
+//!
+//! * the **sender** is charged the serialization cost (`per_kib × size`),
+//!   which throttles a master broadcasting large write-sets exactly the
+//!   way a saturated NIC would;
+//! * the **receiver** observes messages only after the propagation
+//!   latency has elapsed (messages carry a delivery deadline);
+//! * nodes can be **killed** (their endpoint closes, sends to them fail —
+//!   a "broken connection") and links can be **partitioned** (messages
+//!   silently dropped, as on a real network);
+//!
+//! giving the failure-detection and fail-over machinery of `dmv-core`
+//! realistic semantics to work against.
+
+use dmv_common::clock::SimClock;
+use dmv_common::config::NetProfile;
+use dmv_common::error::{DmvError, DmvResult};
+use dmv_common::ids::NodeId;
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A delivered message with its sender.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Payload.
+    pub msg: M,
+    deliver_at: Instant,
+}
+
+struct NodeHandle<M> {
+    sender: crossbeam::channel::Sender<Envelope<M>>,
+    alive: Arc<AtomicBool>,
+}
+
+struct NetInner<M> {
+    nodes: RwLock<HashMap<NodeId, NodeHandle<M>>>,
+    partitions: RwLock<HashSet<(NodeId, NodeId)>>,
+    profile: NetProfile,
+    clock: SimClock,
+    messages_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+/// The simulated network fabric. Cheap to clone (shared state).
+pub struct Network<M> {
+    inner: Arc<NetInner<M>>,
+}
+
+impl<M> Clone for Network<M> {
+    fn clone(&self) -> Self {
+        Network { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<M: Send + 'static> Network<M> {
+    /// Creates a network with the given latency profile and clock.
+    pub fn new(profile: NetProfile, clock: SimClock) -> Self {
+        Network {
+            inner: Arc::new(NetInner {
+                nodes: RwLock::new(HashMap::new()),
+                partitions: RwLock::new(HashSet::new()),
+                profile,
+                clock,
+                messages_sent: AtomicU64::new(0),
+                bytes_sent: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A zero-latency network for pure-logic tests.
+    pub fn zero() -> Self {
+        Self::new(NetProfile::zero(), SimClock::default())
+    }
+
+    /// Registers `node` and returns its endpoint. Re-registering a node
+    /// (e.g. after recovery) replaces the previous endpoint.
+    pub fn register(&self, node: NodeId) -> Endpoint<M> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let alive = Arc::new(AtomicBool::new(true));
+        self.inner
+            .nodes
+            .write()
+            .insert(node, NodeHandle { sender: tx, alive: Arc::clone(&alive) });
+        Endpoint { node, receiver: rx, net: Arc::clone(&self.inner), alive }
+    }
+
+    /// Kills a node: its endpoint stops receiving and sends to it fail.
+    pub fn kill(&self, node: NodeId) {
+        let mut nodes = self.inner.nodes.write();
+        if let Some(h) = nodes.remove(&node) {
+            h.alive.store(false, Ordering::Release);
+            // dropping the sender closes the channel
+        }
+    }
+
+    /// True if the node is registered and alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.inner.nodes.read().get(&node).is_some_and(|h| h.alive.load(Ordering::Acquire))
+    }
+
+    /// Blocks messages in both directions between `a` and `b` (silently
+    /// dropped, like a real partition).
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        let mut p = self.inner.partitions.write();
+        p.insert((a, b));
+        p.insert((b, a));
+    }
+
+    /// Heals a partition.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        let mut p = self.inner.partitions.write();
+        p.remove(&(a, b));
+        p.remove(&(b, a));
+    }
+
+    /// Messages sent so far (diagnostics).
+    pub fn messages_sent(&self) -> u64 {
+        self.inner.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes sent so far (diagnostics).
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Sends from an external party (no endpoint), e.g. a test harness.
+    ///
+    /// # Errors
+    ///
+    /// [`DmvError::NoSuchNode`] if the destination is dead or unknown.
+    pub fn send_external(&self, from: NodeId, to: NodeId, msg: M, size: usize) -> DmvResult<()> {
+        send_inner(&self.inner, from, to, msg, size)
+    }
+}
+
+impl<M> std::fmt::Debug for Network<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.inner.nodes.read().len())
+            .field("messages_sent", &self.inner.messages_sent.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn send_inner<M>(
+    inner: &NetInner<M>,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+    size: usize,
+) -> DmvResult<()> {
+    if inner.partitions.read().contains(&(from, to)) {
+        // Partitioned links drop silently — the sender cannot tell.
+        return Ok(());
+    }
+    // Serialization cost charged to the sender.
+    let ser = Duration::from_nanos(
+        (inner.profile.per_kib.as_nanos() as u64).saturating_mul(size as u64) / 1024,
+    );
+    if !ser.is_zero() {
+        inner.clock.sleep_paper(ser);
+    }
+    let deliver_at = Instant::now() + inner.clock.scale().to_wall(inner.profile.latency);
+    let nodes = inner.nodes.read();
+    let handle = nodes.get(&to).ok_or(DmvError::NoSuchNode(to))?;
+    if !handle.alive.load(Ordering::Acquire) {
+        return Err(DmvError::NoSuchNode(to));
+    }
+    handle
+        .sender
+        .send(Envelope { from, msg, deliver_at })
+        .map_err(|_| DmvError::NoSuchNode(to))?;
+    inner.messages_sent.fetch_add(1, Ordering::Relaxed);
+    inner.bytes_sent.fetch_add(size as u64, Ordering::Relaxed);
+    Ok(())
+}
+
+/// A node's attachment to the network: receive queue plus send access.
+pub struct Endpoint<M> {
+    node: NodeId,
+    receiver: crossbeam::channel::Receiver<Envelope<M>>,
+    net: Arc<NetInner<M>>,
+    alive: Arc<AtomicBool>,
+}
+
+impl<M: Send + 'static> Endpoint<M> {
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// True until the node is killed.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Sends `msg` (of modeled payload `size` bytes) to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`DmvError::NoSuchNode`] if the destination is dead or unknown;
+    /// [`DmvError::NodeFailed`] if this endpoint itself has been killed.
+    pub fn send(&self, to: NodeId, msg: M, size: usize) -> DmvResult<()> {
+        if !self.is_alive() {
+            return Err(DmvError::NodeFailed(self.node));
+        }
+        send_inner(&self.net, self.node, to, msg, size)
+    }
+
+    /// Receives the next message, waiting up to `timeout` (wall time).
+    /// Honors each message's propagation deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`DmvError::Network`] on timeout; [`DmvError::NodeFailed`] when
+    /// the endpoint has been killed and drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> DmvResult<Envelope<M>> {
+        let deadline = Instant::now() + timeout;
+        match self.receiver.recv_deadline(deadline) {
+            Ok(env) => {
+                let now = Instant::now();
+                if env.deliver_at > now {
+                    std::thread::sleep(env.deliver_at - now);
+                }
+                Ok(env)
+            }
+            Err(_) => {
+                if self.is_alive() {
+                    Err(DmvError::Network("receive timeout".into()))
+                } else {
+                    Err(DmvError::NodeFailed(self.node))
+                }
+            }
+        }
+    }
+
+    /// Receives without waiting for new messages (a message already sent
+    /// but still "in flight" is waited out — this thread is the node).
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        match self.receiver.try_recv() {
+            Ok(env) => {
+                let now = Instant::now();
+                if env.deliver_at > now {
+                    std::thread::sleep(env.deliver_at - now);
+                }
+                Some(env)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("node", &self.node)
+            .field("alive", &self.alive.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmv_common::clock::TimeScale;
+
+    #[test]
+    fn basic_send_recv() {
+        let net: Network<String> = Network::zero();
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        a.send(NodeId(2), "hello".into(), 5).unwrap();
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.from, NodeId(1));
+        assert_eq!(env.msg, "hello");
+        assert_eq!(net.messages_sent(), 1);
+        assert_eq!(net.bytes_sent(), 5);
+    }
+
+    #[test]
+    fn send_to_unknown_fails() {
+        let net: Network<u32> = Network::zero();
+        let a = net.register(NodeId(1));
+        assert!(matches!(a.send(NodeId(9), 1, 0), Err(DmvError::NoSuchNode(_))));
+    }
+
+    #[test]
+    fn killed_node_unreachable_and_cannot_send() {
+        let net: Network<u32> = Network::zero();
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        net.kill(NodeId(2));
+        assert!(!net.is_alive(NodeId(2)));
+        assert!(a.send(NodeId(2), 1, 0).is_err());
+        assert!(!b.is_alive());
+        assert!(matches!(b.recv_timeout(Duration::from_millis(10)), Err(DmvError::NodeFailed(_))));
+    }
+
+    #[test]
+    fn partition_drops_silently_and_heals() {
+        let net: Network<u32> = Network::zero();
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        net.partition(NodeId(1), NodeId(2));
+        a.send(NodeId(2), 7, 0).unwrap(); // dropped
+        assert!(b.recv_timeout(Duration::from_millis(20)).is_err());
+        net.heal(NodeId(1), NodeId(2));
+        a.send(NodeId(2), 8, 0).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().msg, 8);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let profile = NetProfile { latency: Duration::from_secs(5), per_kib: Duration::ZERO };
+        let clock = SimClock::new(TimeScale::new(0.002)); // 5 paper-s -> 10 wall-ms
+        let net: Network<u32> = Network::new(profile, clock);
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        let t0 = Instant::now();
+        a.send(NodeId(2), 1, 0).unwrap();
+        let _ = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(10), "elapsed {:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn serialization_cost_charged_to_sender() {
+        let profile = NetProfile { latency: Duration::ZERO, per_kib: Duration::from_secs(1) };
+        let clock = SimClock::new(TimeScale::new(0.01)); // 1 paper-s/KiB -> 10 wall-ms/KiB
+        let net: Network<u32> = Network::new(profile, clock);
+        let a = net.register(NodeId(1));
+        let _b = net.register(NodeId(2));
+        let t0 = Instant::now();
+        a.send(NodeId(2), 1, 2048).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(19), "elapsed {:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn reregistration_replaces_endpoint() {
+        let net: Network<u32> = Network::zero();
+        let a = net.register(NodeId(1));
+        let b1 = net.register(NodeId(2));
+        let b2 = net.register(NodeId(2));
+        a.send(NodeId(2), 5, 0).unwrap();
+        assert!(b1.recv_timeout(Duration::from_millis(20)).is_err());
+        assert_eq!(b2.recv_timeout(Duration::from_secs(1)).unwrap().msg, 5);
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let net: Network<u32> = Network::zero();
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        assert!(b.try_recv().is_none());
+        a.send(NodeId(2), 3, 0).unwrap();
+        assert_eq!(b.try_recv().unwrap().msg, 3);
+    }
+
+    #[test]
+    fn external_send() {
+        let net: Network<u32> = Network::zero();
+        let b = net.register(NodeId(2));
+        net.send_external(NodeId(99), NodeId(2), 11, 0).unwrap();
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.from, NodeId(99));
+    }
+
+    #[test]
+    fn fifo_per_link() {
+        let net: Network<u32> = Network::zero();
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        for i in 0..100 {
+            a.send(NodeId(2), i, 0).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().msg, i);
+        }
+    }
+}

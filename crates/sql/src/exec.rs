@@ -1,0 +1,881 @@
+//! Query executor over a pluggable storage context.
+//!
+//! Both database engines (`dmv-memdb`, `dmv-ondisk`) implement
+//! [`ExecContext`]; the executor contains all the relational logic
+//! (access-path resolution, joins, aggregation, ordering) exactly once,
+//! so the in-memory tier and the on-disk baseline answer queries
+//! identically — a property the integration tests check directly.
+
+use crate::query::{Access, AggFn, Expr, Query, Select, SetExpr};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use dmv_common::error::{DmvError, DmvResult};
+use dmv_common::ids::{RowId, TableId};
+use std::collections::HashMap;
+
+/// Storage interface the executor runs against, bound to one open
+/// transaction on one engine.
+///
+/// Index scans return rows in key order; all methods perform the
+/// engine's own concurrency control (page locks, version application)
+/// internally and may fail with retryable errors.
+pub trait ExecContext {
+    /// The database schema.
+    fn schema(&self) -> &Schema;
+
+    /// All live rows of a table (in unspecified order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (lock conflicts, version conflicts, I/O).
+    fn scan(&mut self, table: TableId) -> DmvResult<Vec<(RowId, Row)>>;
+
+    /// Rows whose index key equals `key` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    fn index_lookup(
+        &mut self,
+        table: TableId,
+        index_no: u8,
+        key: &[Value],
+    ) -> DmvResult<Vec<(RowId, Row)>>;
+
+    /// Rows in key order between the bounds (each `(prefix, inclusive)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    fn index_range(
+        &mut self,
+        table: TableId,
+        index_no: u8,
+        lo: Option<(&[Value], bool)>,
+        hi: Option<(&[Value], bool)>,
+        rev: bool,
+        limit: Option<usize>,
+    ) -> DmvResult<Vec<(RowId, Row)>>;
+
+    /// Inserts a validated row; the engine maintains all indexes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmvError::DuplicateKey`] on unique-index violations, and
+    /// propagates engine errors.
+    fn insert(&mut self, table: TableId, row: Row) -> DmvResult<RowId>;
+
+    /// Replaces the row at `rid`; the engine maintains all indexes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    fn update(&mut self, table: TableId, rid: RowId, row: Row) -> DmvResult<()>;
+
+    /// Deletes the row at `rid`; the engine maintains all indexes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    fn delete(&mut self, table: TableId, rid: RowId) -> DmvResult<()>;
+
+    /// Settles accumulated cost-model charges (engines batch per-row CPU
+    /// charges and pay them at statement boundaries). Default: no-op.
+    fn flush_costs(&mut self) {}
+
+    /// Declares that subsequent reads locate rows for modification, so a
+    /// locking engine should acquire exclusive locks immediately instead
+    /// of shared locks it would have to upgrade (two transactions
+    /// upgrading S→X on the same page deadlock unconditionally).
+    /// Default: no-op.
+    fn set_write_intent(&mut self, _on: bool) {}
+}
+
+/// Result of executing a [`Query`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Output rows (for selects).
+    pub rows: Vec<Row>,
+    /// Rows inserted/updated/deleted (for writes).
+    pub affected: usize,
+}
+
+impl ResultSet {
+    /// The single value of a single-row, single-column result.
+    pub fn scalar(&self) -> Option<&Value> {
+        match self.rows.as_slice() {
+            [row] => row.first(),
+            _ => None,
+        }
+    }
+}
+
+/// Statement-level execution interface: one open transaction accepting
+/// queries one at a time, so later statements can be parameterized by
+/// earlier results (as the TPC-W interactions require).
+pub trait StatementRunner {
+    /// Executes one statement inside the open transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors; retryable errors abort the transaction.
+    fn run(&mut self, q: &Query) -> DmvResult<ResultSet>;
+}
+
+/// Adapts any [`ExecContext`] into a [`StatementRunner`].
+pub struct ExecRunner<'a> {
+    ctx: &'a mut dyn ExecContext,
+}
+
+impl<'a> ExecRunner<'a> {
+    /// Wraps a context.
+    pub fn new(ctx: &'a mut dyn ExecContext) -> Self {
+        ExecRunner { ctx }
+    }
+}
+
+impl StatementRunner for ExecRunner<'_> {
+    fn run(&mut self, q: &Query) -> DmvResult<ResultSet> {
+        let r = execute(self.ctx, q);
+        self.ctx.flush_costs();
+        r
+    }
+}
+
+/// A [`StatementRunner`] decorator recording every executed write
+/// statement — used by the scheduler for its persistence log (§4.6) and
+/// by the on-disk engines for WAL/binlog statement logging.
+pub struct RecordingRunner<'a> {
+    inner: &'a mut dyn StatementRunner,
+    /// The write statements executed so far, in order.
+    pub writes: Vec<Query>,
+}
+
+impl<'a> RecordingRunner<'a> {
+    /// Wraps a runner.
+    pub fn new(inner: &'a mut dyn StatementRunner) -> Self {
+        RecordingRunner { inner, writes: Vec::new() }
+    }
+}
+
+impl StatementRunner for RecordingRunner<'_> {
+    fn run(&mut self, q: &Query) -> DmvResult<ResultSet> {
+        let rs = self.inner.run(q)?;
+        if q.is_write() {
+            self.writes.push(q.clone());
+        }
+        Ok(rs)
+    }
+}
+
+/// Executes a statement against the context.
+///
+/// # Errors
+///
+/// Propagates engine errors and schema validation failures.
+pub fn execute(ctx: &mut dyn ExecContext, q: &Query) -> DmvResult<ResultSet> {
+    match q {
+        Query::Select(s) => run_select(ctx, s),
+        Query::Insert { table, rows } => {
+            let schema = ctx.schema().table(*table)?.clone();
+            for row in rows {
+                schema.validate(row)?;
+            }
+            let mut n = 0;
+            for row in rows {
+                ctx.insert(*table, row.clone())?;
+                n += 1;
+            }
+            Ok(ResultSet { rows: Vec::new(), affected: n })
+        }
+        Query::Update { table, access, filter, set } => {
+            ctx.set_write_intent(true);
+            let matches = base_rows(ctx, *table, access, filter);
+            ctx.set_write_intent(false);
+            let matches = matches?;
+            let schema = ctx.schema().table(*table)?.clone();
+            let mut n = 0;
+            for (rid, old) in matches {
+                let mut new = old.clone();
+                for (col, sx) in set {
+                    let cur = &old[*col];
+                    new[*col] = apply_set(cur, sx)?;
+                }
+                schema.validate(&new)?;
+                ctx.update(*table, rid, new)?;
+                n += 1;
+            }
+            Ok(ResultSet { rows: Vec::new(), affected: n })
+        }
+        Query::Delete { table, access, filter } => {
+            ctx.set_write_intent(true);
+            let matches = base_rows(ctx, *table, access, filter);
+            ctx.set_write_intent(false);
+            let matches = matches?;
+            let mut n = 0;
+            for (rid, _) in matches {
+                ctx.delete(*table, rid)?;
+                n += 1;
+            }
+            Ok(ResultSet { rows: Vec::new(), affected: n })
+        }
+    }
+}
+
+fn apply_set(cur: &Value, sx: &SetExpr) -> DmvResult<Value> {
+    match sx {
+        SetExpr::Value(v) => Ok(v.clone()),
+        SetExpr::AddInt(d) => match cur {
+            Value::Int(i) => Ok(Value::Int(i + d)),
+            other => Err(DmvError::Query(format!("cannot AddInt to {other}"))),
+        },
+        SetExpr::AddFloat(d) => match cur.as_float() {
+            Some(f) => Ok(Value::Float(f + d)),
+            None => Err(DmvError::Query(format!("cannot AddFloat to {cur}"))),
+        },
+    }
+}
+
+/// Resolves `Access::Auto` into an index lookup if the filter fully
+/// covers some index of the table with equality conjuncts.
+fn resolve_auto(schema: &Schema, table: TableId, filter: &Option<Expr>) -> DmvResult<Access> {
+    let ts = schema.table(table)?;
+    let Some(f) = filter else { return Ok(Access::FullScan) };
+    // Collect col -> literal equality conjuncts.
+    let mut eqs: HashMap<usize, Value> = HashMap::new();
+    for c in f.conjuncts() {
+        if let Expr::Cmp(crate::query::CmpOp::Eq, a, b) = c {
+            if let (Expr::Col(i), Expr::Lit(v)) = (a.as_ref(), b.as_ref()) {
+                eqs.insert(*i, v.clone());
+            }
+        }
+    }
+    for (ix_no, ix) in ts.indexes.iter().enumerate() {
+        if ix.columns.iter().all(|c| eqs.contains_key(c)) {
+            let key = ix.columns.iter().map(|c| eqs[c].clone()).collect();
+            return Ok(Access::IndexEq { index_no: ix_no as u8, key });
+        }
+    }
+    Ok(Access::FullScan)
+}
+
+fn base_rows(
+    ctx: &mut dyn ExecContext,
+    table: TableId,
+    access: &Access,
+    filter: &Option<Expr>,
+) -> DmvResult<Vec<(RowId, Row)>> {
+    let access = match access {
+        Access::Auto => resolve_auto(ctx.schema(), table, filter)?,
+        other => other.clone(),
+    };
+    let rows = match &access {
+        Access::Auto => unreachable!("auto was resolved above"),
+        Access::FullScan => ctx.scan(table)?,
+        Access::IndexEq { index_no, key } => ctx.index_lookup(table, *index_no, key)?,
+        Access::IndexRange { index_no, lo, hi, rev, scan_limit } => ctx.index_range(
+            table,
+            *index_no,
+            lo.as_ref().map(|(k, inc)| (k.as_slice(), *inc)),
+            hi.as_ref().map(|(k, inc)| (k.as_slice(), *inc)),
+            *rev,
+            *scan_limit,
+        )?,
+    };
+    match filter {
+        Some(f) => Ok(rows.into_iter().filter(|(_, r)| f.truthy(r)).collect()),
+        None => Ok(rows),
+    }
+}
+
+fn run_select(ctx: &mut dyn ExecContext, s: &Select) -> DmvResult<ResultSet> {
+    // 1. Base access (note: the residual filter may reference joined
+    //    columns, so it is applied after joins, not here).
+    let access = match &s.access {
+        Access::Auto => resolve_auto(ctx.schema(), s.table, &s.filter)?,
+        other => other.clone(),
+    };
+    let base: Vec<(RowId, Row)> = match &access {
+        Access::Auto => unreachable!(),
+        Access::FullScan => ctx.scan(s.table)?,
+        Access::IndexEq { index_no, key } => ctx.index_lookup(s.table, *index_no, key)?,
+        Access::IndexRange { index_no, lo, hi, rev, scan_limit } => ctx.index_range(
+            s.table,
+            *index_no,
+            lo.as_ref().map(|(k, inc)| (k.as_slice(), *inc)),
+            hi.as_ref().map(|(k, inc)| (k.as_slice(), *inc)),
+            *rev,
+            *scan_limit,
+        )?,
+    };
+    let mut acc: Vec<Row> = base.into_iter().map(|(_, r)| r).collect();
+
+    // 2. Joins (left-deep nested loop; index inner when available).
+    for join in &s.joins {
+        let mut next = Vec::with_capacity(acc.len());
+        // Fallback path scans the right table once.
+        let scanned: Option<Vec<Row>> = if join.right_index.is_none() {
+            Some(ctx.scan(join.table)?.into_iter().map(|(_, r)| r).collect())
+        } else {
+            None
+        };
+        for left in acc {
+            let key = left.get(join.left_col).cloned().unwrap_or(Value::Null);
+            if key.is_null() {
+                continue;
+            }
+            let rights: Vec<Row> = match (&join.right_index, &scanned) {
+                (Some(ix), _) => ctx
+                    .index_lookup(join.table, *ix, std::slice::from_ref(&key))?
+                    .into_iter()
+                    .map(|(_, r)| r)
+                    .collect(),
+                (None, Some(all)) => all
+                    .iter()
+                    .filter(|r| r.get(join.right_col) == Some(&key))
+                    .cloned()
+                    .collect(),
+                (None, None) => unreachable!(),
+            };
+            for right in rights {
+                let mut combined = left.clone();
+                combined.extend(right);
+                next.push(combined);
+            }
+        }
+        acc = next;
+    }
+
+    // 3. Residual filter.
+    if let Some(f) = &s.filter {
+        acc.retain(|r| f.truthy(r));
+    }
+
+    // 4. Grouped aggregation.
+    if let Some(g) = &s.group_by {
+        acc = aggregate(acc, &g.cols, &g.aggs);
+    }
+
+    // 5. Order.
+    if !s.order_by.is_empty() {
+        acc.sort_by(|a, b| {
+            for &(col, desc) in &s.order_by {
+                let va = a.get(col).cloned().unwrap_or(Value::Null);
+                let vb = b.get(col).cloned().unwrap_or(Value::Null);
+                let ord = if desc { vb.cmp(&va) } else { va.cmp(&vb) };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // 6. Limit.
+    if let Some(n) = s.limit {
+        acc.truncate(n);
+    }
+
+    // 7. Project.
+    if let Some(cols) = &s.project {
+        acc = acc
+            .into_iter()
+            .map(|r| cols.iter().map(|&c| r.get(c).cloned().unwrap_or(Value::Null)).collect())
+            .collect();
+    }
+
+    Ok(ResultSet { rows: acc, affected: 0 })
+}
+
+fn aggregate(rows: Vec<Row>, cols: &[usize], aggs: &[AggFn]) -> Vec<Row> {
+    #[derive(Clone)]
+    struct AggState {
+        count: u64,
+        sum: f64,
+        all_int: bool,
+        min: Option<Value>,
+        max: Option<Value>,
+    }
+    let fresh = AggState { count: 0, sum: 0.0, all_int: true, min: None, max: None };
+
+    // group key -> (representative group values, per-agg state)
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in rows {
+        let key: Vec<Value> = cols.iter().map(|&c| row.get(c).cloned().unwrap_or(Value::Null)).collect();
+        let states = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            vec![fresh.clone(); aggs.len()]
+        });
+        for (st, agg) in states.iter_mut().zip(aggs) {
+            match agg {
+                AggFn::Count => st.count += 1,
+                AggFn::Sum(c) | AggFn::Avg(c) => {
+                    let v = row.get(*c).cloned().unwrap_or(Value::Null);
+                    if let Some(f) = v.as_float() {
+                        st.count += 1;
+                        st.sum += f;
+                        if !matches!(v, Value::Int(_)) {
+                            st.all_int = false;
+                        }
+                    }
+                }
+                AggFn::Min(c) | AggFn::Max(c) => {
+                    let v = row.get(*c).cloned().unwrap_or(Value::Null);
+                    if !v.is_null() {
+                        match agg {
+                            AggFn::Min(_) => {
+                                if st.min.as_ref().is_none_or(|m| v < *m) {
+                                    st.min = Some(v);
+                                }
+                            }
+                            _ => {
+                                if st.max.as_ref().is_none_or(|m| v > *m) {
+                                    st.max = Some(v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let states = &groups[&key];
+            let mut out = key.clone();
+            for (st, agg) in states.iter().zip(aggs) {
+                let v = match agg {
+                    AggFn::Count => Value::Int(st.count as i64),
+                    AggFn::Sum(_) => {
+                        if st.count == 0 {
+                            Value::Null
+                        } else if st.all_int {
+                            Value::Int(st.sum as i64)
+                        } else {
+                            Value::Float(st.sum)
+                        }
+                    }
+                    AggFn::Avg(_) => {
+                        if st.count == 0 {
+                            Value::Null
+                        } else {
+                            Value::Float(st.sum / st.count as f64)
+                        }
+                    }
+                    AggFn::Min(_) => st.min.clone().unwrap_or(Value::Null),
+                    AggFn::Max(_) => st.max.clone().unwrap_or(Value::Null),
+                };
+                out.push(v);
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+pub(crate) mod mock {
+    //! A reference in-memory context used to test the executor (and, by
+    //! the engine crates, as a behavioural oracle).
+
+    use super::*;
+
+    /// Trivially correct `ExecContext` backed by `Vec<Option<Row>>`.
+    pub struct MockContext {
+        schema: Schema,
+        tables: Vec<Vec<Option<Row>>>,
+    }
+
+    impl MockContext {
+        pub fn new(schema: Schema) -> Self {
+            let n = schema.len();
+            MockContext { schema, tables: (0..n).map(|_| Vec::new()).collect() }
+        }
+
+        fn live(&self, table: TableId) -> Vec<(RowId, Row)> {
+            self.tables[table.0 as usize]
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.clone().map(|r| (RowId::new(i as u32, 0), r)))
+                .collect()
+        }
+
+        fn key_cmp(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+            // compare on the shorter prefix (range bounds may be prefixes)
+            let n = a.len().min(b.len());
+            a[..n].cmp(&b[..n])
+        }
+    }
+
+    impl ExecContext for MockContext {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+
+        fn scan(&mut self, table: TableId) -> DmvResult<Vec<(RowId, Row)>> {
+            Ok(self.live(table))
+        }
+
+        fn index_lookup(
+            &mut self,
+            table: TableId,
+            index_no: u8,
+            key: &[Value],
+        ) -> DmvResult<Vec<(RowId, Row)>> {
+            let ix = self.schema.table(table)?.indexes[index_no as usize].clone();
+            Ok(self
+                .live(table)
+                .into_iter()
+                .filter(|(_, r)| ix.key_of(r) == key)
+                .collect())
+        }
+
+        fn index_range(
+            &mut self,
+            table: TableId,
+            index_no: u8,
+            lo: Option<(&[Value], bool)>,
+            hi: Option<(&[Value], bool)>,
+            rev: bool,
+            limit: Option<usize>,
+        ) -> DmvResult<Vec<(RowId, Row)>> {
+            let ix = self.schema.table(table)?.indexes[index_no as usize].clone();
+            let mut rows: Vec<(Vec<Value>, (RowId, Row))> =
+                self.live(table).into_iter().map(|p| (ix.key_of(&p.1), p)).collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            if rev {
+                rows.reverse();
+            }
+            let mut out = Vec::new();
+            for (k, p) in rows {
+                if let Some((lo_k, inc)) = lo {
+                    let c = Self::key_cmp(&k, lo_k);
+                    if c == std::cmp::Ordering::Less || (!inc && c == std::cmp::Ordering::Equal) {
+                        continue;
+                    }
+                }
+                if let Some((hi_k, inc)) = hi {
+                    let c = Self::key_cmp(&k, hi_k);
+                    if c == std::cmp::Ordering::Greater || (!inc && c == std::cmp::Ordering::Equal)
+                    {
+                        continue;
+                    }
+                }
+                out.push(p);
+                if let Some(n) = limit {
+                    if out.len() >= n {
+                        break;
+                    }
+                }
+            }
+            Ok(out)
+        }
+
+        fn insert(&mut self, table: TableId, row: Row) -> DmvResult<RowId> {
+            let ts = self.schema.table(table)?.clone();
+            for ix in &ts.indexes {
+                if ix.unique {
+                    let key = ix.key_of(&row);
+                    if self.live(table).iter().any(|(_, r)| ix.key_of(r) == key) {
+                        return Err(DmvError::DuplicateKey(format!(
+                            "{} on {}",
+                            ix.name, ts.name
+                        )));
+                    }
+                }
+            }
+            let t = &mut self.tables[table.0 as usize];
+            t.push(Some(row));
+            Ok(RowId::new((t.len() - 1) as u32, 0))
+        }
+
+        fn update(&mut self, table: TableId, rid: RowId, row: Row) -> DmvResult<()> {
+            self.tables[table.0 as usize][rid.page_no as usize] = Some(row);
+            Ok(())
+        }
+
+        fn delete(&mut self, table: TableId, rid: RowId) -> DmvResult<()> {
+            self.tables[table.0 as usize][rid.page_no as usize] = None;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mock::MockContext;
+    use super::*;
+    use crate::query::{CmpOp, Join};
+    use crate::schema::{ColType, Column, IndexDef, TableSchema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            TableSchema::new(
+                TableId(0),
+                "item",
+                vec![
+                    Column::new("i_id", ColType::Int),
+                    Column::new("i_title", ColType::Str),
+                    Column::new("i_a_id", ColType::Int),
+                    Column::new("i_stock", ColType::Int),
+                ],
+                vec![
+                    IndexDef::unique("pk", vec![0]),
+                    IndexDef::non_unique("by_author", vec![2]),
+                ],
+            ),
+            TableSchema::new(
+                TableId(1),
+                "author",
+                vec![Column::new("a_id", ColType::Int), Column::new("a_name", ColType::Str)],
+                vec![IndexDef::unique("pk", vec![0])],
+            ),
+            TableSchema::new(
+                TableId(2),
+                "order_line",
+                vec![
+                    Column::new("ol_id", ColType::Int),
+                    Column::new("ol_o_id", ColType::Int),
+                    Column::new("ol_i_id", ColType::Int),
+                    Column::new("ol_qty", ColType::Int),
+                ],
+                vec![IndexDef::unique("pk", vec![0]), IndexDef::non_unique("by_order", vec![1])],
+            ),
+        ])
+    }
+
+    fn ctx_with_data() -> MockContext {
+        let mut ctx = MockContext::new(schema());
+        let items: Vec<Row> = vec![
+            vec![1.into(), "alpha book".into(), 10.into(), 5.into()],
+            vec![2.into(), "beta book".into(), 10.into(), 3.into()],
+            vec![3.into(), "gamma tome".into(), 11.into(), 0.into()],
+        ];
+        for r in items {
+            ctx.insert(TableId(0), r).unwrap();
+        }
+        ctx.insert(TableId(1), vec![10.into(), "Knuth".into()]).unwrap();
+        ctx.insert(TableId(1), vec![11.into(), "Lamport".into()]).unwrap();
+        // order lines: order 1 has items 1x2, 2x1; order 2 has item 1x4, 3x7
+        let ols: Vec<Row> = vec![
+            vec![100.into(), 1.into(), 1.into(), 2.into()],
+            vec![101.into(), 1.into(), 2.into(), 1.into()],
+            vec![102.into(), 2.into(), 1.into(), 4.into()],
+            vec![103.into(), 2.into(), 3.into(), 7.into()],
+        ];
+        for r in ols {
+            ctx.insert(TableId(2), r).unwrap();
+        }
+        ctx
+    }
+
+    #[test]
+    fn point_select_by_pk() {
+        let mut ctx = ctx_with_data();
+        let q = Query::Select(Select::by_pk(TableId(0), vec![2.into()]));
+        let rs = execute(&mut ctx, &q).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][1], Value::from("beta book"));
+    }
+
+    #[test]
+    fn auto_access_picks_index() {
+        let mut ctx = ctx_with_data();
+        let q = Query::Select(
+            Select::scan(TableId(0)).access(Access::Auto).filter(Expr::eq(0, 3)),
+        );
+        let rs = execute(&mut ctx, &q).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn like_filter_scan() {
+        let mut ctx = ctx_with_data();
+        let q = Query::Select(Select::scan(TableId(0)).filter(Expr::like(1, "%book%")));
+        let rs = execute(&mut ctx, &q).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn join_with_index() {
+        let mut ctx = ctx_with_data();
+        // item join author on i_a_id = a_id
+        let q = Query::Select(
+            Select::scan(TableId(0))
+                .join(Join { table: TableId(1), left_col: 2, right_col: 0, right_index: Some(0) })
+                .project(vec![1, 5]), // title, author name
+        );
+        let rs = execute(&mut ctx, &q).unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        assert!(rs
+            .rows
+            .iter()
+            .any(|r| r[0] == Value::from("gamma tome") && r[1] == Value::from("Lamport")));
+    }
+
+    #[test]
+    fn join_without_index_falls_back_to_scan() {
+        let mut ctx = ctx_with_data();
+        let q = Query::Select(
+            Select::scan(TableId(0))
+                .join(Join { table: TableId(1), left_col: 2, right_col: 0, right_index: None }),
+        );
+        let rs = execute(&mut ctx, &q).unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(rs.rows[0].len(), 6);
+    }
+
+    #[test]
+    fn bestsellers_shape_group_sum_order_limit() {
+        let mut ctx = ctx_with_data();
+        // order_line (ol_o_id >= 1) join item, group by i_id+title, sum qty,
+        // order by sum desc limit 2
+        let q = Query::Select(
+            Select::scan(TableId(2))
+                .access(Access::IndexRange {
+                    index_no: 1,
+                    lo: Some((vec![1.into()], true)),
+                    hi: None,
+                    rev: false,
+                    scan_limit: None,
+                })
+                .join(Join { table: TableId(0), left_col: 2, right_col: 0, right_index: Some(0) })
+                // joined row: ol(4 cols) ++ item(4 cols) -> i_id=4, i_title=5
+                .group(vec![4, 5], vec![AggFn::Sum(3)])
+                .order_by(2, true)
+                .limit(2),
+        );
+        let rs = execute(&mut ctx, &q).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        // item 3 sold 7, item 1 sold 6, item 2 sold 1
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+        assert_eq!(rs.rows[0][2], Value::Int(7));
+        assert_eq!(rs.rows[1][0], Value::Int(1));
+        assert_eq!(rs.rows[1][2], Value::Int(6));
+    }
+
+    #[test]
+    fn aggregates_count_avg_min_max() {
+        let mut ctx = ctx_with_data();
+        let q = Query::Select(Select::scan(TableId(2)).group(
+            vec![],
+            vec![AggFn::Count, AggFn::Avg(3), AggFn::Min(3), AggFn::Max(3)],
+        ));
+        let rs = execute(&mut ctx, &q).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(4));
+        assert_eq!(rs.rows[0][1], Value::Float(3.5));
+        assert_eq!(rs.rows[0][2], Value::Int(1));
+        assert_eq!(rs.rows[0][3], Value::Int(7));
+    }
+
+    #[test]
+    fn index_range_desc_with_scan_limit() {
+        let mut ctx = ctx_with_data();
+        let q = Query::Select(Select::scan(TableId(0)).access(Access::IndexRange {
+            index_no: 0,
+            lo: None,
+            hi: None,
+            rev: true,
+            scan_limit: Some(2),
+        }));
+        let rs = execute(&mut ctx, &q).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+        assert_eq!(rs.rows[1][0], Value::Int(2));
+    }
+
+    #[test]
+    fn update_with_add_int() {
+        let mut ctx = ctx_with_data();
+        let q = Query::Update {
+            table: TableId(0),
+            access: Access::Auto,
+            filter: Some(Expr::eq(0, 1)),
+            set: vec![(3, SetExpr::AddInt(-2))],
+        };
+        let rs = execute(&mut ctx, &q).unwrap();
+        assert_eq!(rs.affected, 1);
+        let check = execute(&mut ctx, &Query::Select(Select::by_pk(TableId(0), vec![1.into()])))
+            .unwrap();
+        assert_eq!(check.rows[0][3], Value::Int(3));
+    }
+
+    #[test]
+    fn update_set_value_and_float_add() {
+        let mut ctx = ctx_with_data();
+        let q = Query::Update {
+            table: TableId(0),
+            access: Access::Auto,
+            filter: Some(Expr::eq(0, 2)),
+            set: vec![(1, SetExpr::Value("renamed".into()))],
+        };
+        assert_eq!(execute(&mut ctx, &q).unwrap().affected, 1);
+        let bad = Query::Update {
+            table: TableId(0),
+            access: Access::Auto,
+            filter: Some(Expr::eq(0, 2)),
+            set: vec![(1, SetExpr::AddInt(1))],
+        };
+        assert!(execute(&mut ctx, &bad).is_err(), "AddInt on a string must fail");
+    }
+
+    #[test]
+    fn delete_with_filter() {
+        let mut ctx = ctx_with_data();
+        let q = Query::Delete {
+            table: TableId(2),
+            access: Access::Auto,
+            filter: Some(Expr::eq(1, 1)),
+        };
+        let rs = execute(&mut ctx, &q).unwrap();
+        assert_eq!(rs.affected, 2);
+        let left = execute(&mut ctx, &Query::Select(Select::scan(TableId(2)))).unwrap();
+        assert_eq!(left.rows.len(), 2);
+    }
+
+    #[test]
+    fn insert_validates_and_detects_duplicates() {
+        let mut ctx = ctx_with_data();
+        let bad_arity =
+            Query::Insert { table: TableId(1), rows: vec![vec![Value::Int(1)]] };
+        assert!(matches!(execute(&mut ctx, &bad_arity), Err(DmvError::Schema(_))));
+        let dup = Query::Insert {
+            table: TableId(1),
+            rows: vec![vec![10.into(), "Dup".into()]],
+        };
+        assert!(matches!(execute(&mut ctx, &dup), Err(DmvError::DuplicateKey(_))));
+    }
+
+    #[test]
+    fn order_by_multiple_keys() {
+        let mut ctx = ctx_with_data();
+        // order items by author asc, stock desc
+        let q = Query::Select(Select::scan(TableId(0)).order_by(2, false).order_by(3, true));
+        let rs = execute(&mut ctx, &q).unwrap();
+        let ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn scalar_helper() {
+        let mut ctx = ctx_with_data();
+        let q = Query::Select(
+            Select::by_pk(TableId(1), vec![10.into()]).project(vec![1]),
+        );
+        let rs = execute(&mut ctx, &q).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::from("Knuth")));
+    }
+
+    #[test]
+    fn filter_comparison_ops() {
+        let mut ctx = ctx_with_data();
+        let q = Query::Select(Select::scan(TableId(0)).filter(Expr::cmp(3, CmpOp::Ge, 3)));
+        assert_eq!(execute(&mut ctx, &q).unwrap().rows.len(), 2);
+        let q = Query::Select(Select::scan(TableId(0)).filter(Expr::cmp(3, CmpOp::Lt, 3)));
+        assert_eq!(execute(&mut ctx, &q).unwrap().rows.len(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Compact row codec: rows are serialized into page records with a
+//! self-describing, deterministic byte encoding.
+
+use crate::value::Value;
+use dmv_common::error::{DmvError, DmvResult};
+
+/// A row: one value per column.
+pub type Row = Vec<Value>;
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+
+/// Encodes a row into bytes.
+///
+/// The encoding is deterministic: the same row always produces the same
+/// bytes, which keeps replica page images bit-identical.
+pub fn encode_row(row: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + row.len() * 9);
+    out.extend_from_slice(&(row.len() as u16).to_le_bytes());
+    for v in row {
+        match v {
+            Value::Null => out.push(TAG_NULL),
+            Value::Bool(false) => out.push(TAG_FALSE),
+            Value::Bool(true) => out.push(TAG_TRUE),
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(TAG_FLOAT);
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(TAG_STR);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a row previously produced by [`encode_row`].
+///
+/// # Errors
+///
+/// Returns [`DmvError::Storage`] if the bytes are truncated or malformed.
+pub fn decode_row(bytes: &[u8]) -> DmvResult<Row> {
+    let err = || DmvError::Storage("malformed row encoding".into());
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> DmvResult<&[u8]> {
+        if *at + n > bytes.len() {
+            return Err(err());
+        }
+        let s = &bytes[*at..*at + n];
+        *at += n;
+        Ok(s)
+    };
+    let n = u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()) as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = take(&mut at, 1)?[0];
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_FALSE => Value::Bool(false),
+            TAG_TRUE => Value::Bool(true),
+            TAG_INT => Value::Int(i64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap())),
+            TAG_FLOAT => {
+                Value::Float(f64::from_bits(u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap())))
+            }
+            TAG_STR => {
+                let len = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap()) as usize;
+                let s = take(&mut at, len)?;
+                Value::Str(String::from_utf8(s.to_vec()).map_err(|_| err())?)
+            }
+            _ => return Err(err()),
+        };
+        row.push(v);
+    }
+    if at != bytes.len() {
+        return Err(err());
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_row() {
+        let row: Row = vec![
+            Value::Int(42),
+            Value::from("hello"),
+            Value::Null,
+            Value::Float(2.5),
+            Value::Bool(true),
+            Value::Bool(false),
+        ];
+        let bytes = encode_row(&row);
+        assert_eq!(decode_row(&bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn empty_row() {
+        let row: Row = vec![];
+        assert_eq!(decode_row(&encode_row(&row)).unwrap(), row);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let row: Row = vec![Value::from("x"), Value::Int(1)];
+        assert_eq!(encode_row(&row), encode_row(&row));
+    }
+
+    #[test]
+    fn truncated_bytes_error() {
+        let bytes = encode_row(&vec![Value::Int(5)]);
+        assert!(decode_row(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_row(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_error() {
+        let mut bytes = encode_row(&vec![Value::Int(5)]);
+        bytes.push(0);
+        assert!(decode_row(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_tag_error() {
+        let mut bytes = encode_row(&vec![Value::Null]);
+        bytes[2] = 99;
+        assert!(decode_row(&bytes).is_err());
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            any::<f64>().prop_map(Value::Float),
+            "\\PC{0,32}".prop_map(Value::Str),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn codec_roundtrip(row in proptest::collection::vec(arb_value(), 0..20)) {
+            let bytes = encode_row(&row);
+            let back = decode_row(&bytes).unwrap();
+            prop_assert_eq!(back.len(), row.len());
+            for (a, b) in back.iter().zip(&row) {
+                // bitwise compare floats (NaN-safe) via encoding again
+                prop_assert_eq!(encode_row(&[a.clone()]), encode_row(&[b.clone()]));
+            }
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_row(&bytes);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Table and database schemas.
+
+use crate::value::Value;
+use dmv_common::error::{DmvError, DmvResult};
+use dmv_common::ids::TableId;
+use serde::{Deserialize, Serialize};
+
+/// Column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColType {
+    /// 64-bit integer (also used for dates).
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl ColType {
+    /// True if `v` is an acceptable value for this column type.
+    pub fn accepts(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColType::Int, Value::Int(_))
+                | (ColType::Float, Value::Float(_))
+                | (ColType::Float, Value::Int(_))
+                | (ColType::Str, Value::Str(_))
+                | (ColType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColType,
+    /// Whether NULL is allowed.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn new(name: &str, ty: ColType) -> Self {
+        Column { name: name.into(), ty, nullable: false }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: &str, ty: ColType) -> Self {
+        Column { name: name.into(), ty, nullable: true }
+    }
+}
+
+/// An index definition. Index 0 of every table is its primary key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexDef {
+    /// Index name (diagnostics only).
+    pub name: String,
+    /// Column positions forming the key, in order.
+    pub columns: Vec<usize>,
+    /// Whether keys must be unique.
+    pub unique: bool,
+}
+
+impl IndexDef {
+    /// A unique index.
+    pub fn unique(name: &str, columns: Vec<usize>) -> Self {
+        IndexDef { name: name.into(), columns, unique: true }
+    }
+
+    /// A non-unique index.
+    pub fn non_unique(name: &str, columns: Vec<usize>) -> Self {
+        IndexDef { name: name.into(), columns, unique: false }
+    }
+
+    /// Extracts this index's key from a row.
+    pub fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.columns.iter().map(|&c| row[c].clone()).collect()
+    }
+}
+
+/// A table schema: columns plus indexes (index 0 = primary key).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table id; must equal the table's position in its [`Schema`].
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Columns.
+    pub columns: Vec<Column>,
+    /// Indexes; `indexes[0]` is the primary key.
+    pub indexes: Vec<IndexDef>,
+}
+
+impl TableSchema {
+    /// Creates a table schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no index is given (every table needs a primary key) or an
+    /// index references a column out of range.
+    pub fn new(id: TableId, name: &str, columns: Vec<Column>, indexes: Vec<IndexDef>) -> Self {
+        assert!(!indexes.is_empty(), "table {name} needs a primary key index");
+        for ix in &indexes {
+            for &c in &ix.columns {
+                assert!(c < columns.len(), "index {} references column {c} out of range", ix.name);
+            }
+        }
+        TableSchema { id, name: name.into(), columns, indexes }
+    }
+
+    /// Position of the named column.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The primary-key index definition.
+    pub fn primary_key(&self) -> &IndexDef {
+        &self.indexes[0]
+    }
+
+    /// Validates a row against the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmvError::Schema`] on arity mismatch, type mismatch, or
+    /// NULL in a non-nullable column.
+    pub fn validate(&self, row: &[Value]) -> DmvResult<()> {
+        if row.len() != self.columns.len() {
+            return Err(DmvError::Schema(format!(
+                "table {}: expected {} columns, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (col, v) in self.columns.iter().zip(row) {
+            if v.is_null() {
+                if !col.nullable {
+                    return Err(DmvError::Schema(format!(
+                        "table {}: column {} is not nullable",
+                        self.name, col.name
+                    )));
+                }
+                continue;
+            }
+            if !col.ty.accepts(v) {
+                return Err(DmvError::Schema(format!(
+                    "table {}: column {} type mismatch for {v}",
+                    self.name, col.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A database schema: tables indexed by [`TableId`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    tables: Vec<TableSchema>,
+}
+
+impl Schema {
+    /// Creates a schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a table's id does not match its position.
+    pub fn new(tables: Vec<TableSchema>) -> Self {
+        for (i, t) in tables.iter().enumerate() {
+            assert_eq!(t.id.0 as usize, i, "table {} id must match its position", t.name);
+        }
+        Schema { tables }
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if there are no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Table schema by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmvError::Schema`] for an unknown id.
+    pub fn table(&self, id: TableId) -> DmvResult<&TableSchema> {
+        self.tables
+            .get(id.0 as usize)
+            .ok_or_else(|| DmvError::Schema(format!("unknown table id {id}")))
+    }
+
+    /// Table schema by name.
+    pub fn table_by_name(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Iterator over tables.
+    pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_table() -> TableSchema {
+        TableSchema::new(
+            TableId(0),
+            "item",
+            vec![
+                Column::new("i_id", ColType::Int),
+                Column::new("i_title", ColType::Str),
+                Column::nullable("i_cost", ColType::Float),
+            ],
+            vec![IndexDef::unique("pk", vec![0]), IndexDef::non_unique("by_title", vec![1])],
+        )
+    }
+
+    #[test]
+    fn col_lookup() {
+        let t = demo_table();
+        assert_eq!(t.col("i_title"), Some(1));
+        assert_eq!(t.col("nope"), None);
+        assert_eq!(t.primary_key().columns, vec![0]);
+    }
+
+    #[test]
+    fn validate_accepts_good_row() {
+        let t = demo_table();
+        assert!(t.validate(&[Value::Int(1), "x".into(), Value::Float(9.5)]).is_ok());
+        assert!(t.validate(&[Value::Int(1), "x".into(), Value::Null]).is_ok());
+        // Int widens into Float columns
+        assert!(t.validate(&[Value::Int(1), "x".into(), Value::Int(9)]).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_rows() {
+        let t = demo_table();
+        assert!(t.validate(&[Value::Int(1)]).is_err(), "arity");
+        assert!(t.validate(&[Value::Null, "x".into(), Value::Null]).is_err(), "null pk");
+        assert!(t
+            .validate(&[Value::Int(1), Value::Int(2), Value::Null])
+            .is_err(), "type mismatch");
+    }
+
+    #[test]
+    fn index_key_extraction() {
+        let t = demo_table();
+        let row = vec![Value::Int(7), "t".into(), Value::Null];
+        assert_eq!(t.indexes[1].key_of(&row), vec![Value::from("t")]);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(vec![demo_table()]);
+        assert_eq!(s.len(), 1);
+        assert!(s.table(TableId(0)).is_ok());
+        assert!(s.table(TableId(9)).is_err());
+        assert!(s.table_by_name("item").is_some());
+        assert!(s.table_by_name("none").is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_table_id_panics() {
+        let mut t = demo_table();
+        t.id = TableId(5);
+        let _ = Schema::new(vec![t]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_without_pk_panics() {
+        let _ = TableSchema::new(TableId(0), "x", vec![Column::new("a", ColType::Int)], vec![]);
+    }
+}

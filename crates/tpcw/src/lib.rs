@@ -1,0 +1,34 @@
+//! # dmv-tpcw
+//!
+//! The TPC-W online-bookstore workload (the paper's evaluation driver):
+//!
+//! * [`schema`] — the bookstore tables (the paper's eight plus the
+//!   TPC-W shopping-cart pair, which carry the write traffic that makes
+//!   the shopping/ordering mixes 20 %/50 % updates);
+//! * [`populate`] — deterministic database population at a configurable
+//!   scale (the paper uses 288 K customers / 100 K items; this
+//!   reproduction defaults to 1/100 of that with identical structure);
+//! * [`interactions`] — the fourteen web interactions, expressed as
+//!   statement-closure plans so later statements can depend on earlier
+//!   results within one transaction;
+//! * [`mix`] — the browsing / shopping / ordering interaction mixes
+//!   (5 % / 20 % / 50 % update transactions);
+//! * [`backend`] — one driver for all three systems under test: the DMV
+//!   cluster, a stand-alone on-disk database, and the replicated on-disk
+//!   tier;
+//! * [`emulator`] — the client emulator: N clients with exponential
+//!   think time, warmup exclusion, WIPS and latency reporting, and a
+//!   step-load peak finder.
+
+pub mod backend;
+pub mod emulator;
+pub mod interactions;
+pub mod mix;
+pub mod populate;
+pub mod schema;
+
+pub use backend::Backend;
+pub use emulator::{run_emulator, EmulatorConfig, EmulatorReport};
+pub use interactions::{IdAllocator, Interaction, InteractionKind};
+pub use mix::Mix;
+pub use populate::TpcwScale;

@@ -1,0 +1,140 @@
+//! The three TPC-W workload mixes.
+//!
+//! Stationary interaction frequencies of the TPC-W browsing, shopping
+//! and ordering mixes. The update-class interactions (ShoppingCart,
+//! CustomerRegistration, BuyRequest, BuyConfirm, AdminConfirm) sum to
+//! ≈5 %, ≈20 % and ≈50 % respectively — the paper's characterization of
+//! the three mixes.
+
+use crate::interactions::InteractionKind;
+use rand::Rng;
+
+/// Workload mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mix {
+    /// 5 % updates.
+    Browsing,
+    /// 20 % updates (the industry-common mix).
+    Shopping,
+    /// 50 % updates.
+    Ordering,
+}
+
+impl Mix {
+    /// All three mixes in paper order.
+    pub const ALL: [Mix; 3] = [Mix::Browsing, Mix::Shopping, Mix::Ordering];
+
+    /// Mix name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mix::Browsing => "browsing",
+            Mix::Shopping => "shopping",
+            Mix::Ordering => "ordering",
+        }
+    }
+
+    /// Interaction weights (per mille), in [`InteractionKind::ALL`]
+    /// order, from the TPC-W specification's mix tables.
+    pub fn weights(&self) -> [u32; 14] {
+        match self {
+            // Home, NewP, BestS, ProdD, SReq, SRes, Cart, CReg, BReq, BConf, OInq, ODisp, AReq, AConf
+            Mix::Browsing => {
+                [2900, 1100, 1100, 2100, 1200, 1100, 200, 82, 75, 69, 30, 25, 10, 9]
+            }
+            Mix::Shopping => {
+                [1600, 500, 500, 1700, 2000, 1700, 1160, 300, 260, 120, 75, 66, 10, 9]
+            }
+            Mix::Ordering => {
+                [912, 46, 46, 1235, 1453, 1308, 1353, 1286, 1273, 1018, 25, 22, 12, 11]
+            }
+        }
+    }
+
+    /// Fraction of interactions that are update-class under this mix.
+    pub fn update_fraction(&self) -> f64 {
+        let w = self.weights();
+        let total: u32 = w.iter().sum();
+        let updates: u32 = InteractionKind::ALL
+            .iter()
+            .zip(&w)
+            .filter(|(k, _)| k.is_update())
+            .map(|(_, w)| *w)
+            .sum();
+        f64::from(updates) / f64::from(total)
+    }
+
+    /// Samples the next interaction kind.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> InteractionKind {
+        let w = self.weights();
+        let total: u32 = w.iter().sum();
+        let mut x = rng.gen_range(0..total);
+        for (kind, weight) in InteractionKind::ALL.iter().zip(&w) {
+            if x < *weight {
+                return *kind;
+            }
+            x -= *weight;
+        }
+        InteractionKind::Home
+    }
+}
+
+impl std::fmt::Display for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmv_common::rng::seeded;
+
+    #[test]
+    fn update_fractions_match_paper() {
+        let b = Mix::Browsing.update_fraction();
+        let s = Mix::Shopping.update_fraction();
+        let o = Mix::Ordering.update_fraction();
+        assert!((0.03..0.06).contains(&b), "browsing {b}");
+        assert!((0.17..0.22).contains(&s), "shopping {s}");
+        assert!((0.47..0.52).contains(&o), "ordering {o}");
+    }
+
+    #[test]
+    fn sampling_tracks_weights() {
+        let mut rng = seeded(1);
+        let n = 100_000;
+        let mut home = 0u32;
+        let mut updates = 0u32;
+        for _ in 0..n {
+            let k = Mix::Shopping.sample(&mut rng);
+            if k == InteractionKind::Home {
+                home += 1;
+            }
+            if k.is_update() {
+                updates += 1;
+            }
+        }
+        let home_frac = f64::from(home) / f64::from(n);
+        assert!((0.14..0.18).contains(&home_frac), "home {home_frac}");
+        let upd_frac = f64::from(updates) / f64::from(n);
+        assert!((0.17..0.22).contains(&upd_frac), "updates {upd_frac}");
+    }
+
+    #[test]
+    fn all_kinds_reachable_in_every_mix() {
+        for mix in Mix::ALL {
+            let mut rng = seeded(2);
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..200_000 {
+                seen.insert(mix.sample(&mut rng));
+            }
+            assert_eq!(seen.len(), 14, "{mix} missing kinds");
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Mix::Browsing.to_string(), "browsing");
+        assert_eq!(Mix::Ordering.name(), "ordering");
+    }
+}

@@ -1,0 +1,269 @@
+//! Deterministic TPC-W population.
+//!
+//! Follows the TPC-W cardinality rules (authors = items/4, addresses =
+//! 2 × customers, ~0.9 orders per customer with ~3 lines each, one
+//! credit-card transaction per order, 92 countries) at a configurable
+//! scale. The paper's standard scale is 288 K customers / 100 K items
+//! (≈610 MB); the reproduction defaults to 1/100 of that, preserving all
+//! structural ratios.
+
+use crate::schema::{self, SUBJECTS};
+use dmv_common::ids::TableId;
+use dmv_common::rng::{alnum_string, derive};
+use dmv_sql::row::Row;
+use dmv_sql::value::Value;
+use rand::Rng;
+
+/// Word list used in item titles so LIKE searches have hits.
+pub const TITLE_WORDS: [&str; 16] = [
+    "atlas", "shadow", "river", "empire", "garden", "winter", "machine", "island", "storm",
+    "signal", "harbor", "memory", "circle", "letter", "thunder", "mirror",
+];
+
+/// Population scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpcwScale {
+    /// Number of customers.
+    pub customers: usize,
+    /// Number of items (books).
+    pub items: usize,
+}
+
+impl TpcwScale {
+    /// The paper's standard scale: 288 K customers, 100 K items.
+    pub fn paper_standard() -> Self {
+        TpcwScale { customers: 288_000, items: 100_000 }
+    }
+
+    /// 1/100 of the standard scale (default for experiments here).
+    pub fn small() -> Self {
+        TpcwScale { customers: 2_880, items: 1_000 }
+    }
+
+    /// A tiny scale for unit tests.
+    pub fn tiny() -> Self {
+        TpcwScale { customers: 100, items: 50 }
+    }
+
+    /// The larger configuration of the paper's cold/warm-backup
+    /// experiments (400 K customers / 100 K items), scaled 1/100.
+    pub fn small_large() -> Self {
+        TpcwScale { customers: 4_000, items: 1_000 }
+    }
+
+    /// Number of authors (¼ of items, at least 1).
+    pub fn authors(&self) -> usize {
+        (self.items / 4).max(1)
+    }
+
+    /// Number of addresses (2 per customer).
+    pub fn addresses(&self) -> usize {
+        self.customers * 2
+    }
+
+    /// Number of initial orders (0.9 per customer).
+    pub fn orders(&self) -> usize {
+        self.customers * 9 / 10
+    }
+
+    /// Number of countries.
+    pub fn countries(&self) -> usize {
+        92
+    }
+}
+
+/// The generated population: per-table row sets plus the id watermarks
+/// the runtime allocator continues from.
+#[derive(Debug)]
+pub struct Population {
+    /// `(table, rows)` in load order (referenced tables first).
+    pub tables: Vec<(TableId, Vec<Row>)>,
+    /// Highest order id generated (BestSellers ranges hang off this).
+    pub max_order_id: i64,
+    /// Highest order-line id generated.
+    pub max_order_line_id: i64,
+}
+
+/// Generates the full population for `scale`, deterministically from
+/// `seed`.
+pub fn generate(scale: TpcwScale, seed: u64) -> Population {
+    let mut rng = derive(seed, 0xF0F0);
+    let n_customers = scale.customers as i64;
+    let n_items = scale.items as i64;
+    let n_authors = scale.authors() as i64;
+    let n_addresses = scale.addresses() as i64;
+    let n_orders = scale.orders() as i64;
+    let n_countries = scale.countries() as i64;
+
+    let countries: Vec<Row> = (1..=n_countries)
+        .map(|id| vec![Value::Int(id), Value::Str(format!("country{id}"))])
+        .collect();
+
+    let addresses: Vec<Row> = (1..=n_addresses)
+        .map(|id| {
+            vec![
+                Value::Int(id),
+                Value::Str(alnum_string(&mut rng, 10, 20)),
+                Value::Str(alnum_string(&mut rng, 6, 12)),
+                Value::Str(alnum_string(&mut rng, 5, 5)),
+                Value::Int(rng.gen_range(1..=n_countries)),
+            ]
+        })
+        .collect();
+
+    let customers: Vec<Row> = (1..=n_customers)
+        .map(|id| {
+            vec![
+                Value::Int(id),
+                Value::Str(format!("user{id}")),
+                Value::Str(alnum_string(&mut rng, 4, 10)),
+                Value::Str(alnum_string(&mut rng, 4, 12)),
+                Value::Int(rng.gen_range(1..=n_addresses)),
+                Value::Str(alnum_string(&mut rng, 10, 10)),
+                Value::Str(format!("user{id}@example.com")),
+                Value::Float(f64::from(rng.gen_range(0..50)) / 100.0),
+            ]
+        })
+        .collect();
+
+    let authors: Vec<Row> = (1..=n_authors)
+        .map(|id| {
+            vec![
+                Value::Int(id),
+                Value::Str(alnum_string(&mut rng, 4, 10)),
+                Value::Str(format!("{}{}", TITLE_WORDS[(id as usize) % TITLE_WORDS.len()], id)),
+            ]
+        })
+        .collect();
+
+    let items: Vec<Row> = (1..=n_items)
+        .map(|id| {
+            let w1 = TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())];
+            let w2 = TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())];
+            vec![
+                Value::Int(id),
+                Value::Str(format!("{w1} {w2} {}", alnum_string(&mut rng, 3, 8))),
+                Value::Int(rng.gen_range(1..=n_authors)),
+                Value::Str(SUBJECTS[rng.gen_range(0..SUBJECTS.len())].to_owned()),
+                Value::Int(rng.gen_range(10_000..13_000)), // pub date (days)
+                Value::Float(f64::from(rng.gen_range(100..9900)) / 100.0),
+                Value::Int(rng.gen_range(10..30)),
+                Value::Int(rng.gen_range(1..=n_items)),
+                Value::Str(alnum_string(&mut rng, 12, 12)),
+            ]
+        })
+        .collect();
+
+    let mut orders = Vec::with_capacity(n_orders as usize);
+    let mut order_lines = Vec::new();
+    let mut cc = Vec::with_capacity(n_orders as usize);
+    let mut ol_id = 0i64;
+    for o_id in 1..=n_orders {
+        let c_id = rng.gen_range(1..=n_customers);
+        orders.push(vec![
+            Value::Int(o_id),
+            Value::Int(c_id),
+            Value::Int(rng.gen_range(12_000..13_000)),
+            Value::Float(f64::from(rng.gen_range(1000..50_000)) / 100.0),
+            Value::Str("SHIPPED".to_owned()),
+            Value::Int(rng.gen_range(1..=n_addresses)),
+        ]);
+        for _ in 0..rng.gen_range(1..=5) {
+            ol_id += 1;
+            order_lines.push(vec![
+                Value::Int(ol_id),
+                Value::Int(o_id),
+                Value::Int(rng.gen_range(1..=n_items)),
+                Value::Int(rng.gen_range(1..=4)),
+                Value::Float(0.0),
+            ]);
+        }
+        cc.push(vec![
+            Value::Int(o_id),
+            Value::Str("VISA".to_owned()),
+            Value::Str(alnum_string(&mut rng, 16, 16)),
+            Value::Float(f64::from(rng.gen_range(1000..50_000)) / 100.0),
+            Value::Int(rng.gen_range(12_000..13_000)),
+        ]);
+    }
+
+    Population {
+        tables: vec![
+            (schema::COUNTRY, countries),
+            (schema::ADDRESS, addresses),
+            (schema::CUSTOMER, customers),
+            (schema::AUTHOR, authors),
+            (schema::ITEM, items),
+            (schema::ORDERS, orders),
+            (schema::ORDER_LINE, order_lines),
+            (schema::CC_XACTS, cc),
+        ],
+        max_order_id: n_orders,
+        max_order_line_id: ol_id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::tpcw_schema;
+
+    #[test]
+    fn cardinalities_follow_tpcw_rules() {
+        let s = TpcwScale::tiny();
+        let p = generate(s, 1);
+        let count = |t: TableId| p.tables.iter().find(|(id, _)| *id == t).unwrap().1.len();
+        assert_eq!(count(schema::CUSTOMER), 100);
+        assert_eq!(count(schema::ITEM), 50);
+        assert_eq!(count(schema::AUTHOR), 12);
+        assert_eq!(count(schema::ADDRESS), 200);
+        assert_eq!(count(schema::ORDERS), 90);
+        assert_eq!(count(schema::COUNTRY), 92);
+        assert_eq!(count(schema::CC_XACTS), 90);
+        assert!(count(schema::ORDER_LINE) >= 90);
+        assert_eq!(p.max_order_id, 90);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(TpcwScale::tiny(), 42);
+        let b = generate(TpcwScale::tiny(), 42);
+        assert_eq!(a.tables.len(), b.tables.len());
+        for ((ta, ra), (tb, rb)) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(ta, tb);
+            assert_eq!(ra, rb);
+        }
+        let c = generate(TpcwScale::tiny(), 43);
+        assert_ne!(a.tables[2].1, c.tables[2].1, "different seeds differ");
+    }
+
+    #[test]
+    fn rows_validate_against_schema() {
+        let schema = tpcw_schema();
+        let p = generate(TpcwScale::tiny(), 7);
+        for (table, rows) in &p.tables {
+            let ts = schema.table(*table).unwrap();
+            for row in rows {
+                ts.validate(row).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        let p = generate(TpcwScale::tiny(), 9);
+        let items = &p.tables.iter().find(|(t, _)| *t == schema::ITEM).unwrap().1;
+        let n_authors = 12;
+        for row in items {
+            let a = row[schema::item::I_A_ID].as_int().unwrap();
+            assert!((1..=n_authors).contains(&a));
+        }
+    }
+
+    #[test]
+    fn scales() {
+        assert_eq!(TpcwScale::paper_standard().customers, 288_000);
+        assert_eq!(TpcwScale::small().items, 1_000);
+        assert!(TpcwScale::small_large().customers > TpcwScale::small().customers);
+    }
+}

@@ -1,0 +1,322 @@
+//! The TPC-W bookstore schema.
+//!
+//! The paper lists eight tables (customer, address, orders, order_line,
+//! credit_info, item, author, country); the TPC-W specification also
+//! stores shopping carts in the database, and it is the cart writes that
+//! make the shopping and ordering mixes 20 % / 50 % *update*
+//! transactions as the paper states — so the two cart tables are
+//! included here (documented substitution in `DESIGN.md`).
+
+use dmv_common::ids::TableId;
+use dmv_sql::schema::{ColType, Column, IndexDef, Schema, TableSchema};
+
+/// `customer` table id.
+pub const CUSTOMER: TableId = TableId(0);
+/// `address` table id.
+pub const ADDRESS: TableId = TableId(1);
+/// `orders` table id.
+pub const ORDERS: TableId = TableId(2);
+/// `order_line` table id.
+pub const ORDER_LINE: TableId = TableId(3);
+/// `item` table id.
+pub const ITEM: TableId = TableId(4);
+/// `author` table id.
+pub const AUTHOR: TableId = TableId(5);
+/// `cc_xacts` (credit_info) table id.
+pub const CC_XACTS: TableId = TableId(6);
+/// `country` table id.
+pub const COUNTRY: TableId = TableId(7);
+/// `shopping_cart` table id.
+pub const SHOPPING_CART: TableId = TableId(8);
+/// `shopping_cart_line` table id.
+pub const CART_LINE: TableId = TableId(9);
+
+/// Column positions of `customer`.
+pub mod customer {
+    /// c_id
+    pub const C_ID: usize = 0;
+    /// c_uname
+    pub const C_UNAME: usize = 1;
+    /// c_fname
+    pub const C_FNAME: usize = 2;
+    /// c_lname
+    pub const C_LNAME: usize = 3;
+    /// c_addr_id
+    pub const C_ADDR_ID: usize = 4;
+    /// c_phone
+    pub const C_PHONE: usize = 5;
+    /// c_email
+    pub const C_EMAIL: usize = 6;
+    /// c_discount
+    pub const C_DISCOUNT: usize = 7;
+}
+
+/// Column positions of `address`.
+pub mod address {
+    /// addr_id
+    pub const ADDR_ID: usize = 0;
+    /// addr_street
+    pub const ADDR_STREET: usize = 1;
+    /// addr_city
+    pub const ADDR_CITY: usize = 2;
+    /// addr_zip
+    pub const ADDR_ZIP: usize = 3;
+    /// addr_co_id
+    pub const ADDR_CO_ID: usize = 4;
+}
+
+/// Column positions of `orders`.
+pub mod orders {
+    /// o_id
+    pub const O_ID: usize = 0;
+    /// o_c_id
+    pub const O_C_ID: usize = 1;
+    /// o_date
+    pub const O_DATE: usize = 2;
+    /// o_total
+    pub const O_TOTAL: usize = 3;
+    /// o_status
+    pub const O_STATUS: usize = 4;
+    /// o_ship_addr_id
+    pub const O_SHIP_ADDR_ID: usize = 5;
+}
+
+/// Column positions of `order_line`.
+pub mod order_line {
+    /// ol_id
+    pub const OL_ID: usize = 0;
+    /// ol_o_id
+    pub const OL_O_ID: usize = 1;
+    /// ol_i_id
+    pub const OL_I_ID: usize = 2;
+    /// ol_qty
+    pub const OL_QTY: usize = 3;
+    /// ol_discount
+    pub const OL_DISCOUNT: usize = 4;
+}
+
+/// Column positions of `item`.
+pub mod item {
+    /// i_id
+    pub const I_ID: usize = 0;
+    /// i_title
+    pub const I_TITLE: usize = 1;
+    /// i_a_id
+    pub const I_A_ID: usize = 2;
+    /// i_subject
+    pub const I_SUBJECT: usize = 3;
+    /// i_pub_date
+    pub const I_PUB_DATE: usize = 4;
+    /// i_cost
+    pub const I_COST: usize = 5;
+    /// i_stock
+    pub const I_STOCK: usize = 6;
+    /// i_related
+    pub const I_RELATED: usize = 7;
+    /// i_thumbnail
+    pub const I_THUMBNAIL: usize = 8;
+    /// Secondary index number: by subject.
+    pub const IDX_BY_SUBJECT: u8 = 1;
+    /// Secondary index number: by author.
+    pub const IDX_BY_AUTHOR: u8 = 2;
+}
+
+/// Column positions of `author`.
+pub mod author {
+    /// a_id
+    pub const A_ID: usize = 0;
+    /// a_fname
+    pub const A_FNAME: usize = 1;
+    /// a_lname
+    pub const A_LNAME: usize = 2;
+}
+
+/// Column positions of `cc_xacts`.
+pub mod cc_xacts {
+    /// cx_o_id
+    pub const CX_O_ID: usize = 0;
+    /// cx_type
+    pub const CX_TYPE: usize = 1;
+    /// cx_num
+    pub const CX_NUM: usize = 2;
+    /// cx_amount
+    pub const CX_AMOUNT: usize = 3;
+    /// cx_date
+    pub const CX_DATE: usize = 4;
+}
+
+/// Column positions of `shopping_cart_line`.
+pub mod cart_line {
+    /// scl_sc_id
+    pub const SCL_SC_ID: usize = 0;
+    /// scl_i_id
+    pub const SCL_I_ID: usize = 1;
+    /// scl_qty
+    pub const SCL_QTY: usize = 2;
+    /// Secondary index number: by cart.
+    pub const IDX_BY_CART: u8 = 1;
+}
+
+/// The 24 TPC-W item subjects.
+pub const SUBJECTS: [&str; 24] = [
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING", "HEALTH", "HISTORY",
+    "HOME", "HUMOR", "LITERATURE", "MYSTERY", "NON-FICTION", "PARENTING", "POLITICS",
+    "REFERENCE", "RELIGION", "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION",
+    "SPORTS", "YOUTH", "TRAVEL",
+];
+
+/// Builds the TPC-W schema.
+pub fn tpcw_schema() -> Schema {
+    Schema::new(vec![
+        TableSchema::new(
+            CUSTOMER,
+            "customer",
+            vec![
+                Column::new("c_id", ColType::Int),
+                Column::new("c_uname", ColType::Str),
+                Column::new("c_fname", ColType::Str),
+                Column::new("c_lname", ColType::Str),
+                Column::new("c_addr_id", ColType::Int),
+                Column::new("c_phone", ColType::Str),
+                Column::new("c_email", ColType::Str),
+                Column::new("c_discount", ColType::Float),
+            ],
+            vec![IndexDef::unique("pk", vec![0]), IndexDef::unique("by_uname", vec![1])],
+        ),
+        TableSchema::new(
+            ADDRESS,
+            "address",
+            vec![
+                Column::new("addr_id", ColType::Int),
+                Column::new("addr_street", ColType::Str),
+                Column::new("addr_city", ColType::Str),
+                Column::new("addr_zip", ColType::Str),
+                Column::new("addr_co_id", ColType::Int),
+            ],
+            vec![IndexDef::unique("pk", vec![0])],
+        ),
+        TableSchema::new(
+            ORDERS,
+            "orders",
+            vec![
+                Column::new("o_id", ColType::Int),
+                Column::new("o_c_id", ColType::Int),
+                Column::new("o_date", ColType::Int),
+                Column::new("o_total", ColType::Float),
+                Column::new("o_status", ColType::Str),
+                Column::new("o_ship_addr_id", ColType::Int),
+            ],
+            vec![IndexDef::unique("pk", vec![0]), IndexDef::non_unique("by_customer", vec![1])],
+        ),
+        TableSchema::new(
+            ORDER_LINE,
+            "order_line",
+            vec![
+                Column::new("ol_id", ColType::Int),
+                Column::new("ol_o_id", ColType::Int),
+                Column::new("ol_i_id", ColType::Int),
+                Column::new("ol_qty", ColType::Int),
+                Column::new("ol_discount", ColType::Float),
+            ],
+            vec![IndexDef::unique("pk", vec![0]), IndexDef::non_unique("by_order", vec![1])],
+        ),
+        TableSchema::new(
+            ITEM,
+            "item",
+            vec![
+                Column::new("i_id", ColType::Int),
+                Column::new("i_title", ColType::Str),
+                Column::new("i_a_id", ColType::Int),
+                Column::new("i_subject", ColType::Str),
+                Column::new("i_pub_date", ColType::Int),
+                Column::new("i_cost", ColType::Float),
+                Column::new("i_stock", ColType::Int),
+                Column::new("i_related", ColType::Int),
+                Column::new("i_thumbnail", ColType::Str),
+            ],
+            vec![
+                IndexDef::unique("pk", vec![0]),
+                IndexDef::non_unique("by_subject", vec![3]),
+                IndexDef::non_unique("by_author", vec![2]),
+            ],
+        ),
+        TableSchema::new(
+            AUTHOR,
+            "author",
+            vec![
+                Column::new("a_id", ColType::Int),
+                Column::new("a_fname", ColType::Str),
+                Column::new("a_lname", ColType::Str),
+            ],
+            vec![IndexDef::unique("pk", vec![0]), IndexDef::non_unique("by_lname", vec![2])],
+        ),
+        TableSchema::new(
+            CC_XACTS,
+            "cc_xacts",
+            vec![
+                Column::new("cx_o_id", ColType::Int),
+                Column::new("cx_type", ColType::Str),
+                Column::new("cx_num", ColType::Str),
+                Column::new("cx_amount", ColType::Float),
+                Column::new("cx_date", ColType::Int),
+            ],
+            vec![IndexDef::unique("pk", vec![0])],
+        ),
+        TableSchema::new(
+            COUNTRY,
+            "country",
+            vec![Column::new("co_id", ColType::Int), Column::new("co_name", ColType::Str)],
+            vec![IndexDef::unique("pk", vec![0])],
+        ),
+        TableSchema::new(
+            SHOPPING_CART,
+            "shopping_cart",
+            vec![Column::new("sc_id", ColType::Int), Column::new("sc_date", ColType::Int)],
+            vec![IndexDef::unique("pk", vec![0])],
+        ),
+        TableSchema::new(
+            CART_LINE,
+            "shopping_cart_line",
+            vec![
+                Column::new("scl_sc_id", ColType::Int),
+                Column::new("scl_i_id", ColType::Int),
+                Column::new("scl_qty", ColType::Int),
+            ],
+            vec![IndexDef::unique("pk", vec![0, 1]), IndexDef::non_unique("by_cart", vec![0])],
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_ten_tables() {
+        let s = tpcw_schema();
+        assert_eq!(s.len(), 10);
+        assert!(s.table_by_name("customer").is_some());
+        assert!(s.table_by_name("shopping_cart_line").is_some());
+    }
+
+    #[test]
+    fn column_constants_match_schema() {
+        let s = tpcw_schema();
+        let c = s.table(CUSTOMER).unwrap();
+        assert_eq!(c.col("c_uname"), Some(customer::C_UNAME));
+        let i = s.table(ITEM).unwrap();
+        assert_eq!(i.col("i_subject"), Some(item::I_SUBJECT));
+        assert_eq!(i.indexes[item::IDX_BY_SUBJECT as usize].columns, vec![item::I_SUBJECT]);
+        assert_eq!(i.indexes[item::IDX_BY_AUTHOR as usize].columns, vec![item::I_A_ID]);
+        let ol = s.table(ORDER_LINE).unwrap();
+        assert_eq!(ol.col("ol_o_id"), Some(order_line::OL_O_ID));
+    }
+
+    #[test]
+    fn cart_line_has_composite_pk() {
+        let s = tpcw_schema();
+        let scl = s.table(CART_LINE).unwrap();
+        assert_eq!(scl.primary_key().columns, vec![0, 1]);
+        assert!(scl.primary_key().unique);
+    }
+}

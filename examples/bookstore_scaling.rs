@@ -1,0 +1,69 @@
+//! Bookstore scaling demo: a miniature of the paper's Figure 3 — the
+//! TPC-W shopping mix on the DMV tier with a growing number of slaves,
+//! against the on-disk baseline.
+//!
+//! ```sh
+//! cargo run --release --example bookstore_scaling
+//! ```
+
+use dmv::core::cluster::{ClusterSpec, DmvCluster};
+use dmv::tpcw::backend::{load_cluster, load_diskdb, Backend};
+use dmv::tpcw::emulator::{run_emulator, EmulatorConfig};
+use dmv::tpcw::interactions::IdAllocator;
+use dmv::tpcw::populate::{generate, TpcwScale};
+use dmv::tpcw::schema::tpcw_schema;
+use dmv::tpcw::Mix;
+use dmv::common::clock::{SimClock, TimeScale};
+use dmv::ondisk::{DiskDb, DiskDbOptions};
+use std::sync::Arc;
+use std::time::Duration;
+
+const TS: f64 = 0.25;
+
+fn cfg() -> EmulatorConfig {
+    EmulatorConfig {
+        mix: Mix::Shopping,
+        n_clients: 16,
+        think_time: Duration::from_millis(150),
+        duration: Duration::from_secs(5),
+        warmup: Duration::from_secs(2),
+        retries: 20,
+        seed: 7,
+        series_window: Duration::from_secs(1),
+    }
+}
+
+fn main() {
+    let scale = TpcwScale { customers: 1000, items: 500 };
+    let pop = generate(scale, 7);
+
+    // On-disk baseline.
+    let clock = SimClock::new(TimeScale::new(TS));
+    let db = Arc::new(DiskDb::new(
+        tpcw_schema(),
+        DiskDbOptions { clock, buffer_pages: 200, ..Default::default() },
+    ));
+    load_diskdb(&db, &pop).expect("load");
+    db.prewarm();
+    let ids = Arc::new(IdAllocator::from_population(scale, &pop));
+    let report = run_emulator(&Backend::Disk(db), clock, &ids, scale, cfg());
+    println!("on-disk baseline : {:7.1} WIPS", report.wips);
+
+    // DMV tier with 1, 2, 4 slaves.
+    for slaves in [1usize, 2, 4] {
+        let mut spec = ClusterSpec::new(tpcw_schema(), TimeScale::new(TS));
+        spec.n_slaves = slaves;
+        let cluster = DmvCluster::start(spec);
+        load_cluster(&cluster, &pop).expect("load");
+        cluster.finish_load();
+        let ids = Arc::new(IdAllocator::from_population(scale, &pop));
+        let report =
+            run_emulator(&Backend::Dmv(cluster.session()), cluster.clock(), &ids, scale, cfg());
+        println!(
+            "DMV, {slaves} slave(s) : {:7.1} WIPS   (aborts {:.2}%)",
+            report.wips,
+            cluster.version_abort_rate() * 100.0
+        );
+        cluster.shutdown();
+    }
+}

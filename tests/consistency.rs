@@ -1,0 +1,165 @@
+//! Cross-crate consistency tests through the public facade: 1-copy
+//! serializability invariants of the full middleware stack under random
+//! workloads.
+
+use dmv::common::ids::TableId;
+use dmv::core::cluster::{ClusterSpec, DmvCluster};
+use dmv::sql::{Access, ColType, Column, Expr, IndexDef, Query, Schema, Select, SetExpr, Value, TableSchema};
+use proptest::prelude::*;
+use rand::Rng as _;
+use std::sync::Arc;
+
+fn bank_schema() -> Schema {
+    Schema::new(vec![TableSchema::new(
+        TableId(0),
+        "bank",
+        vec![Column::new("id", ColType::Int), Column::new("balance", ColType::Int)],
+        vec![IndexDef::unique("pk", vec![0])],
+    )])
+}
+
+fn start(n_slaves: usize, accounts: i64) -> Arc<DmvCluster> {
+    let mut spec = ClusterSpec::fast_test(bank_schema());
+    spec.n_slaves = n_slaves;
+    let cluster = DmvCluster::start(spec);
+    cluster
+        .load_rows(TableId(0), (0..accounts).map(|i| vec![i.into(), 100.into()]).collect())
+        .unwrap();
+    cluster.finish_load();
+    cluster
+}
+
+fn transfer(from: i64, to: i64, amount: i64) -> Vec<Query> {
+    vec![
+        Query::Update {
+            table: TableId(0),
+            access: Access::Auto,
+            filter: Some(Expr::eq(0, from)),
+            set: vec![(1, SetExpr::AddInt(-amount))],
+        },
+        Query::Update {
+            table: TableId(0),
+            access: Access::Auto,
+            filter: Some(Expr::eq(0, to)),
+            set: vec![(1, SetExpr::AddInt(amount))],
+        },
+    ]
+}
+
+fn total_balance(rows: &[Vec<Value>]) -> i64 {
+    rows.iter().map(|r| r[1].as_int().unwrap()).sum()
+}
+
+/// The classic bank invariant: concurrent transfers never create or
+/// destroy money, and every read-only snapshot is consistent (sums to
+/// the invariant total even while transfers are in flight).
+#[test]
+fn snapshot_reads_preserve_invariants_under_transfers() {
+    let accounts = 20i64;
+    let cluster = start(3, accounts);
+    let total = 100 * accounts;
+
+    let mut writers = Vec::new();
+    for w in 0..3u64 {
+        let c = Arc::clone(&cluster);
+        writers.push(std::thread::spawn(move || {
+            let s = c.session();
+            let mut rng = dmv::common::rng::seeded(w);
+            for _ in 0..40 {
+                let from = rng.gen_range(0..20);
+                let to = (from + rng.gen_range(1..20)) % 20;
+                s.update_retry(&transfer(from, to, rng.gen_range(1..10)), 20).unwrap();
+            }
+        }));
+    }
+    let mut readers = Vec::new();
+    for r in 0..3u64 {
+        let c = Arc::clone(&cluster);
+        readers.push(std::thread::spawn(move || {
+            let s = c.session();
+            let mut consistent = 0u32;
+            for _ in 0..60 {
+                if let Ok(rs) = s.read_retry(&[Query::Select(Select::scan(TableId(0)))], 20) {
+                    assert_eq!(
+                        total_balance(&rs[0].rows),
+                        100 * 20,
+                        "reader {r} saw a torn snapshot"
+                    );
+                    consistent += 1;
+                }
+            }
+            consistent
+        }));
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
+    let seen: u32 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(seen > 100, "readers mostly succeeded ({seen})");
+    let rs = cluster.session().read_retry(&[Query::Select(Select::scan(TableId(0)))], 20).unwrap();
+    assert_eq!(total_balance(&rs[0].rows), total);
+    cluster.shutdown();
+}
+
+/// Snapshot consistency must survive a master failure mid-stream.
+#[test]
+fn snapshot_consistency_across_master_failover() {
+    let cluster = start(3, 10);
+    let session = cluster.session();
+    for i in 0..20 {
+        session.update_retry(&transfer(i % 10, (i + 3) % 10, 5), 20).unwrap();
+    }
+    cluster.kill_replica(cluster.master(0).id());
+    cluster.detect_and_reconfigure();
+    for i in 0..20 {
+        session.update_retry(&transfer(i % 10, (i + 7) % 10, 3), 20).unwrap();
+    }
+    let rs = session.read_retry(&[Query::Select(Select::scan(TableId(0)))], 20).unwrap();
+    assert_eq!(total_balance(&rs[0].rows), 1000);
+    cluster.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random single-threaded workloads through the middleware match a
+    /// simple model (HashMap) exactly — the whole stack (scheduler,
+    /// master 2PL, write-set broadcast, lazy slave application) is
+    /// semantically invisible.
+    #[test]
+    fn random_workload_matches_model(ops in proptest::collection::vec((0u8..3, 0i64..30, 1i64..50), 1..60)) {
+        let cluster = start(2, 30);
+        let session = cluster.session();
+        let mut model: std::collections::HashMap<i64, i64> =
+            (0..30).map(|i| (i, 100)).collect();
+        for (kind, id, amount) in ops {
+            match kind {
+                0 => {
+                    // deposit
+                    session.update_retry(&[Query::Update {
+                        table: TableId(0),
+                        access: Access::Auto,
+                        filter: Some(Expr::eq(0, id)),
+                        set: vec![(1, SetExpr::AddInt(amount))],
+                    }], 20).unwrap();
+                    *model.get_mut(&id).unwrap() += amount;
+                }
+                1 => {
+                    // read and compare one account
+                    let rs = session.read_retry(
+                        &[Query::Select(Select::by_pk(TableId(0), vec![id.into()]))], 20
+                    ).unwrap();
+                    prop_assert_eq!(rs[0].rows[0][1].as_int().unwrap(), model[&id]);
+                }
+                _ => {
+                    // scan and compare the total
+                    let rs = session.read_retry(
+                        &[Query::Select(Select::scan(TableId(0)))], 20
+                    ).unwrap();
+                    prop_assert_eq!(total_balance(&rs[0].rows), model.values().sum::<i64>());
+                }
+            }
+        }
+        cluster.shutdown();
+    }
+}

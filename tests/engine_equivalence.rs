@@ -1,0 +1,116 @@
+//! Property test: the in-memory engine and the on-disk engine answer
+//! identical query sequences identically (the executor is shared; the
+//! engines differ only in cost model and concurrency protocol, neither
+//! of which may change semantics).
+
+use dmv::common::ids::TableId;
+use dmv::memdb::{MemDb, MemDbOptions};
+use dmv::ondisk::{DiskDb, DiskDbOptions};
+use dmv::sql::exec::execute;
+use dmv::sql::{Access, ColType, Column, Expr, IndexDef, Query, Schema, Select, SetExpr, TableSchema};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![TableSchema::new(
+        TableId(0),
+        "t",
+        vec![
+            Column::new("k", ColType::Int),
+            Column::new("grp", ColType::Int),
+            Column::new("s", ColType::Str),
+        ],
+        vec![IndexDef::unique("pk", vec![0]), IndexDef::non_unique("by_grp", vec![1])],
+    )])
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Update(i64, i64),
+    Delete(i64),
+    PointRead(i64),
+    GroupRead(i64),
+    Scan,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..40, 0i64..5).prop_map(|(k, g)| Op::Insert(k, g)),
+        (0i64..40, 0i64..5).prop_map(|(k, g)| Op::Update(k, g)),
+        (0i64..40).prop_map(Op::Delete),
+        (0i64..40).prop_map(Op::PointRead),
+        (0i64..5).prop_map(Op::GroupRead),
+        Just(Op::Scan),
+    ]
+}
+
+fn to_query(op: &Op) -> Query {
+    match op {
+        Op::Insert(k, g) => Query::Insert {
+            table: TableId(0),
+            rows: vec![vec![(*k).into(), (*g).into(), format!("v{k}").into()]],
+        },
+        Op::Update(k, g) => Query::Update {
+            table: TableId(0),
+            access: Access::Auto,
+            filter: Some(Expr::eq(0, *k)),
+            set: vec![(1, SetExpr::Value((*g).into()))],
+        },
+        Op::Delete(k) => Query::Delete {
+            table: TableId(0),
+            access: Access::Auto,
+            filter: Some(Expr::eq(0, *k)),
+        },
+        Op::PointRead(k) => Query::Select(Select::by_pk(TableId(0), vec![(*k).into()])),
+        Op::GroupRead(g) => Query::Select(
+            Select::scan(TableId(0))
+                .access(Access::IndexEq { index_no: 1, key: vec![(*g).into()] })
+                .order_by(0, false),
+        ),
+        Op::Scan => Query::Select(Select::scan(TableId(0)).order_by(0, false)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn memdb_and_diskdb_answer_identically(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let mem = MemDb::new(schema(), MemDbOptions::default());
+        let disk = DiskDb::new(schema(), DiskDbOptions {
+            clock: dmv::common::SimClock::new(dmv::common::TimeScale::new(1e-9)),
+            ..Default::default()
+        });
+        for op in &ops {
+            let q = to_query(op);
+            let mem_res = {
+                let mut txn = mem.begin_update();
+                let r = execute(&mut txn, &q);
+                match &r {
+                    Ok(_) => txn.commit(None),
+                    Err(_) => txn.abort(),
+                }
+                r
+            };
+            let disk_res = disk.execute_txn(std::slice::from_ref(&q));
+            match (mem_res, disk_res) {
+                (Ok(m), Ok(d)) => {
+                    prop_assert_eq!(&m.rows, &d[0].rows, "rows diverged on {:?}", op);
+                    prop_assert_eq!(m.affected, d[0].affected, "affected diverged on {:?}", op);
+                }
+                (Err(me), Err(de)) => {
+                    // same class of error (e.g. duplicate key on both)
+                    prop_assert_eq!(
+                        std::mem::discriminant(&me),
+                        std::mem::discriminant(&de),
+                        "error classes diverged on {:?}: {:?} vs {:?}", op, me, de
+                    );
+                }
+                (m, d) => {
+                    return Err(TestCaseError::fail(
+                        format!("outcome diverged on {op:?}: mem={m:?} disk={d:?}")
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Cross-crate TPC-W smoke tests: each workload mix runs end-to-end
+//! through the DMV middleware with the expected update share and
+//! bounded version-conflict aborts.
+
+use dmv::core::cluster::{ClusterSpec, DmvCluster};
+use dmv::tpcw::backend::{load_cluster, Backend};
+use dmv::tpcw::emulator::{run_emulator, EmulatorConfig};
+use dmv::tpcw::interactions::IdAllocator;
+use dmv::tpcw::populate::{generate, TpcwScale};
+use dmv::tpcw::schema::tpcw_schema;
+use dmv::tpcw::Mix;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run_mix(mix: Mix) -> (f64, f64, u64, u64) {
+    let scale = TpcwScale::tiny();
+    let mut spec = ClusterSpec::fast_test(tpcw_schema());
+    spec.n_slaves = 2;
+    let cluster = DmvCluster::start(spec);
+    let pop = generate(scale, 5);
+    load_cluster(&cluster, &pop).unwrap();
+    cluster.finish_load();
+    let ids = Arc::new(IdAllocator::from_population(scale, &pop));
+    let backend = Backend::Dmv(cluster.session());
+    let cfg = EmulatorConfig {
+        mix,
+        n_clients: 4,
+        think_time: Duration::from_millis(10),
+        duration: Duration::from_secs(3),
+        warmup: Duration::from_millis(300),
+        retries: 20,
+        seed: 99,
+        series_window: Duration::from_secs(1),
+    };
+    let report = run_emulator(&backend, cluster.clock(), &ids, scale, cfg);
+    let abort_rate = cluster.version_abort_rate();
+    cluster.shutdown();
+    let update_frac = report.updates as f64 / report.interactions.max(1) as f64;
+    (update_frac, abort_rate, report.interactions, report.errors)
+}
+
+#[test]
+fn browsing_mix_runs_with_few_updates() {
+    let (update_frac, abort_rate, n, errors) = run_mix(Mix::Browsing);
+    assert!(n > 100, "interactions {n}");
+    assert!(update_frac < 0.12, "browsing update share {update_frac}");
+    assert!(abort_rate < 0.05, "abort rate {abort_rate}");
+    assert!((errors as f64) < n as f64 * 0.05, "errors {errors}");
+}
+
+#[test]
+fn shopping_mix_runs_with_fifth_updates() {
+    let (update_frac, abort_rate, n, errors) = run_mix(Mix::Shopping);
+    assert!(n > 100, "interactions {n}");
+    assert!((0.10..0.35).contains(&update_frac), "shopping update share {update_frac}");
+    assert!(abort_rate < 0.05, "abort rate {abort_rate}");
+    assert!((errors as f64) < n as f64 * 0.05, "errors {errors}");
+}
+
+#[test]
+fn ordering_mix_runs_with_half_updates() {
+    let (update_frac, abort_rate, n, errors) = run_mix(Mix::Ordering);
+    assert!(n > 100, "interactions {n}");
+    assert!((0.35..0.65).contains(&update_frac), "ordering update share {update_frac}");
+    assert!(abort_rate < 0.08, "abort rate {abort_rate}");
+    assert!((errors as f64) < n as f64 * 0.08, "errors {errors}");
+}
