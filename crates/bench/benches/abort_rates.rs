@@ -52,7 +52,10 @@ fn main() {
     for mix in Mix::ALL {
         for slaves in [2usize, 4] {
             let rate = run_once(mix, slaves, true);
-            println!("  {mix:>9} mix, {slaves} slaves, version-aware routing: {:.2}%", rate * 100.0);
+            println!(
+                "  {mix:>9} mix, {slaves} slaves, version-aware routing: {:.2}%",
+                rate * 100.0
+            );
             with_routing.push(rate);
             ok &= shape_check(
                 &format!("{mix}/{slaves} slaves under 2.5%"),

@@ -91,8 +91,10 @@ fn main() {
             &format!("8 slaves ×{:.1} over 1 slave", best / one),
         );
     }
-    let shopping8 = wips[&(Mix::Shopping, "dmv8".to_string())] / wips[&(Mix::Shopping, "innodb".to_string())];
-    let ordering8 = wips[&(Mix::Ordering, "dmv8".to_string())] / wips[&(Mix::Ordering, "innodb".to_string())];
+    let shopping8 =
+        wips[&(Mix::Shopping, "dmv8".to_string())] / wips[&(Mix::Shopping, "innodb".to_string())];
+    let ordering8 =
+        wips[&(Mix::Ordering, "dmv8".to_string())] / wips[&(Mix::Ordering, "innodb".to_string())];
     ok &= shape_check(
         "ordering speedup < shopping speedup (master saturation)",
         ordering8 < shopping8,

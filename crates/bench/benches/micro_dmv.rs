@@ -12,8 +12,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dmv_common::ids::{NodeId, PageId, TableId, TxnId};
 use dmv_common::version::VersionVector;
-use dmv_core::messages::WriteSet;
-use dmv_core::PendingApplier;
+use dmv_core::messages::{Msg, WriteSet};
+use dmv_core::{ClusterSpec, DmvCluster, PendingApplier};
 use dmv_memdb::lock::{LockManager, LockMode};
 use dmv_memdb::{MemDb, MemDbOptions};
 use dmv_pagestore::diff::PageDiff;
@@ -191,16 +191,131 @@ fn bench_writeset(c: &mut Criterion) {
             version += 1;
             let mut vv = VersionVector::new(1);
             vv.set(TableId(0), version);
-            let ws = WriteSet {
+            let ws = Arc::new(WriteSet {
                 txn: TxnId::new(NodeId(0), version),
                 versions: vv,
                 pages: vec![(PageId::heap(TableId(0), 0), diff.clone())],
-            };
+            });
             applier.enqueue(&ws);
             applier.apply_page(PageId::heap(TableId(0), 0));
         })
     });
     g.finish();
+}
+
+/// A write-set shaped like a multi-page update: `n_pages` pages, each
+/// with a moderate sparse diff.
+fn multi_page_writeset(n_pages: u32) -> WriteSet {
+    let before = vec![0u8; PAGE_SIZE];
+    let after = sparse_change(&before, 256);
+    let diff = PageDiff::compute(&before, &after);
+    WriteSet {
+        txn: TxnId::new(NodeId(0), 1),
+        versions: VersionVector::from_entries(vec![1]),
+        pages: (0..n_pages).map(|p| (PageId::heap(TableId(0), p), diff.clone())).collect(),
+    }
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fanout");
+    let template = multi_page_writeset(16);
+    for &n in &[1usize, 2, 4, 8] {
+        // New hot path: one deep allocation per commit, an Arc clone per
+        // target. Should stay ~flat in the target count.
+        g.bench_function(format!("arc_{n}_targets"), |b| {
+            b.iter(|| {
+                let ws = Arc::new(black_box(&template).clone());
+                let msgs: Vec<Msg> = (0..n).map(|_| Msg::WriteSet(Arc::clone(&ws))).collect();
+                black_box(msgs)
+            })
+        });
+        // Ablation (pre-refactor behavior): a deep write-set clone per
+        // target — linear in the target count.
+        g.bench_function(format!("deep_clone_{n}_targets"), |b| {
+            b.iter(|| {
+                let msgs: Vec<Msg> =
+                    (0..n).map(|_| Msg::WriteSet(Arc::new(black_box(&template).clone()))).collect();
+                black_box(msgs)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_applier_contention(c: &mut Criterion) {
+    const THREADS: u32 = 4;
+    const PAGES_PER_THREAD: u32 = 64;
+    let mut g = c.benchmark_group("applier");
+    // Four threads enqueue + materialize disjoint page sets on one
+    // applier: with the sharded queue map they mostly touch different
+    // shards instead of serializing on a global map lock.
+    g.bench_function("contended_enqueue_apply_4_threads", |b| {
+        let before = vec![0u8; PAGE_SIZE];
+        let after = sparse_change(&before, 64);
+        let diff = PageDiff::compute(&before, &after);
+        b.iter_batched(
+            || {
+                let store = Arc::new(PageStore::new_free());
+                Arc::new(PendingApplier::new(store, 1, Duration::from_secs(1)))
+            },
+            |applier| {
+                std::thread::scope(|s| {
+                    for t in 0..THREADS {
+                        let applier = Arc::clone(&applier);
+                        let diff = diff.clone();
+                        s.spawn(move || {
+                            for p in 0..PAGES_PER_THREAD {
+                                let page = PageId::heap(TableId(0), t * PAGES_PER_THREAD + p);
+                                let ws = Arc::new(WriteSet {
+                                    txn: TxnId::new(NodeId(t), u64::from(p) + 1),
+                                    versions: VersionVector::from_entries(vec![u64::from(p)]),
+                                    pages: vec![(page, diff.clone())],
+                                });
+                                applier.enqueue(&ws);
+                                applier.apply_page(page);
+                            }
+                        });
+                    }
+                });
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    let mut spec = ClusterSpec::fast_test(kv_schema());
+    spec.n_slaves = 4;
+    let cluster = DmvCluster::start(spec);
+    cluster.finish_load();
+    let session = cluster.session();
+    // Route + tag + slave dispatch with a no-op statement closure: the
+    // scheduler hot path (atomic latest snapshot, lock-free load scan).
+    g.bench_function("read_route_noop", |b| {
+        b.iter(|| session.read_with(&mut |_r| Ok(())).unwrap())
+    });
+    g.bench_function("read_route_noop_4_threads", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                std::thread::scope(|s| {
+                    for _ in 0..4 {
+                        let session = cluster.session();
+                        s.spawn(move || {
+                            for _ in 0..64 {
+                                session.read_with(&mut |_r| Ok(())).unwrap();
+                            }
+                        });
+                    }
+                });
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+    cluster.shutdown();
 }
 
 criterion_group! {
@@ -211,6 +326,7 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500))
         .sample_size(20);
-    targets = bench_pagediff, bench_version, bench_btree, bench_locks, bench_writeset
+    targets = bench_pagediff, bench_version, bench_btree, bench_locks, bench_writeset,
+        bench_fanout, bench_applier_contention, bench_routing
 }
 criterion_main!(benches);

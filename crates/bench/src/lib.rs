@@ -246,11 +246,20 @@ fn wait_paper(clock: SimClock, until: Duration) {
 /// Figure 5(a,b) baseline: replicated on-disk tier (2 actives + 1 stale
 /// passive spare), one active killed mid-run, spare promoted by binlog
 /// replay from disk.
-pub fn innodb_stale_failover(time_scale: f64, kill_at: Duration, total: Duration) -> StaleFailoverRun {
+pub fn innodb_stale_failover(
+    time_scale: f64,
+    kill_at: Duration,
+    total: Duration,
+) -> StaleFailoverRun {
     let scale = TpcwScale::small();
     let (tier, backend, ids, clock) = deploy_tier(scale, time_scale, 2, 400);
-    let handle =
-        dmv_tpcw::emulator::spawn_emulator(&backend, clock, &ids, scale, shopping_cfg(total, Duration::from_secs(10)));
+    let handle = dmv_tpcw::emulator::spawn_emulator(
+        &backend,
+        clock,
+        &ids,
+        scale,
+        shopping_cfg(total, Duration::from_secs(10)),
+    );
     wait_paper(clock, kill_at);
     tier.kill_active(0);
     let breakdown = tier.failover().expect("failover succeeds");
@@ -303,8 +312,7 @@ pub fn dmv_stale_failover(time_scale: f64, kill_at: Duration, total: Duration) -
     d.cluster.shutdown();
 
     let pre_rate = mean_rate(&emu.series, Duration::from_secs(20), kill_at);
-    let recovered_at =
-        recovery_time(&emu.series, t_integrated, pre_rate * 0.9).unwrap_or(total);
+    let recovered_at = recovery_time(&emu.series, t_integrated, pre_rate * 0.9).unwrap_or(total);
     let phases = FailoverPhases {
         recovery: t_promoted.saturating_sub(t_kill),
         db_update: report.duration,
@@ -360,8 +368,7 @@ pub fn spare_failover_experiment(warmup: WarmupStrategy) -> SpareFailoverOutcome
         seed: SEED,
         series_window: Duration::from_secs(5),
     };
-    let handle =
-        dmv_tpcw::emulator::spawn_emulator(&d.backend, d.clock, &d.ids, scale, cfg);
+    let handle = dmv_tpcw::emulator::spawn_emulator(&d.backend, d.clock, &d.ids, scale, cfg);
     // Kill the active slave at the scheduled paper time.
     let victim = d.cluster.slave_ids()[0];
     while d.clock.now_paper() < kill_at {

@@ -72,7 +72,8 @@ impl NetProfile {
 
     /// Total transfer time for a message of `bytes` payload.
     pub fn transfer_time(&self, bytes: usize) -> Duration {
-        self.latency + Duration::from_nanos((self.per_kib.as_nanos() as u64) * (bytes as u64) / 1024)
+        self.latency
+            + Duration::from_nanos((self.per_kib.as_nanos() as u64) * (bytes as u64) / 1024)
     }
 }
 

@@ -92,11 +92,8 @@ mod tests {
 
     #[test]
     fn retryability() {
-        let vc = DmvError::VersionConflict {
-            page: PageId::heap(TableId(0), 1),
-            wanted: 3,
-            found: 5,
-        };
+        let vc =
+            DmvError::VersionConflict { page: PageId::heap(TableId(0), 1), wanted: 3, found: 5 };
         assert!(vc.is_retryable());
         assert!(DmvError::Deadlock(TxnId::new(NodeId(0), 1)).is_retryable());
         assert!(DmvError::NodeFailed(NodeId(2)).is_retryable());

@@ -229,11 +229,7 @@ impl ThroughputSeries {
                     start: self.width * i as u32,
                     width: self.width,
                     events,
-                    mean_latency: if events == 0 {
-                        Duration::ZERO
-                    } else {
-                        Duration::from_micros(sum / events)
-                    },
+                    mean_latency: Duration::from_micros(sum.checked_div(events).unwrap_or(0)),
                 }
             })
             .collect()

@@ -33,7 +33,9 @@ impl Throttle {
     /// Panics if `permits` is zero.
     pub fn new(clock: SimClock, permits: usize) -> Self {
         assert!(permits > 0, "a resource needs at least one service slot");
-        Throttle { inner: Arc::new(Inner { permits: Mutex::new(permits), cv: Condvar::new(), clock }) }
+        Throttle {
+            inner: Arc::new(Inner { permits: Mutex::new(permits), cv: Condvar::new(), clock }),
+        }
     }
 
     /// Charges `paper` of service time: waits for a permit, holds it for

@@ -12,31 +12,84 @@
 //! with a newer tag) cannot be rewound — old versions are not kept — so
 //! the transaction aborts with `VersionConflict`; the scheduler keeps
 //! such aborts rare by same-version routing.
+//!
+//! # Hot-path structure
+//!
+//! The applier sits on both sides of the replication hot path: the
+//! receiver thread enqueues every incoming write-set while reader
+//! threads concurrently gate page accesses. Three choices keep those
+//! sides from serializing each other:
+//!
+//! * queued entries are `(version, Arc<WriteSet>, index)` — the diff
+//!   bytes live once, in the write-set allocation shared with the
+//!   network layer, no matter how many pages or replicas are involved;
+//! * the page-queue map is split into [`SHARD_COUNT`] independently
+//!   locked shards keyed by a page-id hash, so readers materializing
+//!   different pages don't contend on one map lock;
+//! * the received-version vector is an [`AtomicVersionVector`]: tag
+//!   checks are lock-free loads, and the condvar (with its mutex) is
+//!   touched only when a reader actually has to wait for in-flight
+//!   versions — enqueue skips the lock entirely while no one waits.
 
 use crate::messages::WriteSet;
 use dmv_common::error::{DmvError, DmvResult};
-use dmv_common::ids::PageId;
-use dmv_common::version::VersionVector;
+use dmv_common::ids::{PageId, PageSpace};
+use dmv_common::version::{AtomicVersionVector, VersionVector};
 use dmv_memdb::ReadGate;
 use dmv_pagestore::diff::PageDiff;
 use dmv_pagestore::store::{PageCell, PageStore};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-type PageQueue = Arc<Mutex<VecDeque<(u64, PageDiff)>>>;
+/// Number of independently locked page-queue shards. Power of two so
+/// the hash can mask; 64 is comfortably past the core counts this
+/// simulation runs on.
+const SHARD_COUNT: usize = 64;
+
+/// One queued page modification: the version this diff raises the page
+/// to, plus a handle into the shared write-set that carries the bytes.
+struct PendingDiff {
+    version: u64,
+    ws: Arc<WriteSet>,
+    idx: usize,
+}
+
+impl PendingDiff {
+    fn diff(&self) -> &PageDiff {
+        &self.ws.pages[self.idx].1
+    }
+}
+
+type PageQueue = Arc<Mutex<VecDeque<PendingDiff>>>;
+
+/// Fibonacci-hash a page id onto a shard index. All three id
+/// components participate so heap/index pages of one table spread out.
+fn shard_of(id: PageId) -> usize {
+    let space = match id.space {
+        PageSpace::Heap => 0u64,
+        PageSpace::Index(n) => 1 + n as u64,
+    };
+    let key = (id.table.0 as u64) << 48 | space << 40 | id.page_no as u64;
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - SHARD_COUNT.trailing_zeros())) as usize
+}
 
 /// Per-replica pending-update state implementing [`ReadGate`].
 pub struct PendingApplier {
     store: Arc<PageStore>,
-    queues: Mutex<HashMap<PageId, PageQueue>>,
-    received: Mutex<VersionVector>,
+    queues: [Mutex<HashMap<PageId, PageQueue>>; SHARD_COUNT],
+    received: AtomicVersionVector,
+    /// Readers blocked on versions still in flight. Enqueue only takes
+    /// `wait_lock` when this is non-zero.
+    waiters: AtomicUsize,
+    wait_lock: Mutex<()>,
     received_cv: Condvar,
     /// Wall-clock bound on waiting for a not-yet-received version.
     wait_timeout: Duration,
-    applied_writesets: AtomicU64,
+    /// Write-sets enqueued (not yet necessarily materialized).
+    enqueued_writesets: AtomicU64,
 }
 
 impl PendingApplier {
@@ -44,42 +97,59 @@ impl PendingApplier {
     pub fn new(store: Arc<PageStore>, n_tables: usize, wait_timeout: Duration) -> Self {
         PendingApplier {
             store,
-            queues: Mutex::new(HashMap::new()),
-            received: Mutex::new(VersionVector::new(n_tables)),
+            queues: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            received: AtomicVersionVector::new(n_tables),
+            waiters: AtomicUsize::new(0),
+            wait_lock: Mutex::new(()),
             received_cv: Condvar::new(),
             wait_timeout,
-            applied_writesets: AtomicU64::new(0),
+            enqueued_writesets: AtomicU64::new(0),
         }
     }
 
     fn queue_of(&self, id: PageId) -> PageQueue {
-        Arc::clone(self.queues.lock().entry(id).or_default())
+        Arc::clone(self.queues[shard_of(id)].lock().entry(id).or_default())
     }
 
-    /// Enqueues a received write-set: each page diff goes to its page's
-    /// queue (creating the page if the master allocated it), and the
-    /// received-version vector advances.
-    pub fn enqueue(&self, ws: &WriteSet) {
-        for (id, diff) in &ws.pages {
+    /// Enqueues a received write-set: each page's entry points into the
+    /// shared allocation (no diff is copied), and the received-version
+    /// vector advances by atomic maximum.
+    pub fn enqueue(&self, ws: &Arc<WriteSet>) {
+        for (idx, (id, _)) in ws.pages.iter().enumerate() {
             // Ensure the page exists so later reads/scans can see it.
             let _ = self.store.get_or_create(*id);
             let q = self.queue_of(*id);
-            q.lock().push_back((ws.versions.get(id.table), diff.clone()));
+            q.lock().push_back(PendingDiff {
+                version: ws.versions.get(id.table),
+                ws: Arc::clone(ws),
+                idx,
+            });
         }
-        let mut received = self.received.lock();
-        received.merge(&ws.versions);
-        self.received_cv.notify_all();
-        self.applied_writesets.fetch_add(1, Ordering::Relaxed);
+        self.received.merge(&ws.versions);
+        self.notify_waiters();
+        self.enqueued_writesets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Wakes blocked readers, taking the wait lock only if any exist.
+    /// A waiter increments `waiters` before its final dominance check
+    /// (both SeqCst), so an advance it misses is followed by a notify
+    /// it cannot miss — the notifier locks `wait_lock`, which the
+    /// waiter holds from re-check until it parks on the condvar.
+    fn notify_waiters(&self) {
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _g = self.wait_lock.lock();
+            self.received_cv.notify_all();
+        }
     }
 
     /// Highest version vector received so far.
     pub fn received(&self) -> VersionVector {
-        self.received.lock().clone()
+        self.received.snapshot()
     }
 
     /// Write-sets enqueued so far.
     pub fn enqueued_count(&self) -> u64 {
-        self.applied_writesets.load(Ordering::Relaxed)
+        self.enqueued_writesets.load(Ordering::Relaxed)
     }
 
     /// Blocks until the replication stream has delivered everything up
@@ -100,16 +170,27 @@ impl PendingApplier {
     ///
     /// [`DmvError::Network`] if the wait times out.
     pub fn wait_received_for(&self, tag: &VersionVector, timeout: Duration) -> DmvResult<()> {
+        // Lock-free fast path: the stream is usually ahead of readers.
+        if self.received.dominates(tag) {
+            return Ok(());
+        }
         let deadline = Instant::now() + timeout;
-        let mut received = self.received.lock();
-        while !received.dominates(tag) {
-            if self.received_cv.wait_until(&mut received, deadline).timed_out() {
-                return Err(DmvError::Network(format!(
-                    "version {tag} not received (have {received})"
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut g = self.wait_lock.lock();
+        let result = loop {
+            if self.received.dominates(tag) {
+                break Ok(());
+            }
+            if self.received_cv.wait_until(&mut g, deadline).timed_out() {
+                break Err(DmvError::Network(format!(
+                    "version {tag} not received (have {})",
+                    self.received
                 )));
             }
-        }
-        Ok(())
+        };
+        drop(g);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        result
     }
 
     /// Applies queued diffs of `cell` up to `want` (one table entry).
@@ -117,16 +198,16 @@ impl PendingApplier {
         let q = self.queue_of(id);
         let mut q = q.lock();
         let mut page = cell.latch.write();
-        while let Some((v, _)) = q.front() {
-            if *v > want {
+        while let Some(front) = q.front() {
+            if front.version > want {
                 break;
             }
-            let (v, diff) = q.pop_front().expect("front checked");
+            let entry = q.pop_front().expect("front checked");
             // Idempotence across migration: a page image received during
             // data migration may already include this diff.
-            if v > page.version {
-                diff.apply(page.data_mut());
-                page.version = v;
+            if entry.version > page.version {
+                entry.diff().apply(page.data_mut());
+                page.version = entry.version;
             }
         }
         if page.version > want {
@@ -140,10 +221,12 @@ impl PendingApplier {
     /// joining node). Afterwards each page is at the replica's received
     /// version for its table.
     pub fn apply_all(&self) {
-        let ids: Vec<PageId> = self.queues.lock().keys().copied().collect();
-        for id in ids {
-            if let Some(cell) = self.store.get(id) {
-                let _ = self.apply_up_to(id, &cell, u64::MAX);
+        for shard in &self.queues {
+            let ids: Vec<PageId> = shard.lock().keys().copied().collect();
+            for id in ids {
+                if let Some(cell) = self.store.get(id) {
+                    let _ = self.apply_up_to(id, &cell, u64::MAX);
+                }
             }
         }
     }
@@ -160,20 +243,14 @@ impl PendingApplier {
     /// transactions the failed master never acknowledged (§4.2). Also
     /// clamps the received vector so later waits don't trust ghosts.
     pub fn discard_above(&self, versions: &VersionVector) {
-        let queues = self.queues.lock();
-        for (id, q) in queues.iter() {
-            let keep = versions.get(id.table);
-            q.lock().retain(|(v, _)| *v <= keep);
+        for shard in &self.queues {
+            let shard = shard.lock();
+            for (id, q) in shard.iter() {
+                let keep = versions.get(id.table);
+                q.lock().retain(|e| e.version <= keep);
+            }
         }
-        drop(queues);
-        let mut received = self.received.lock();
-        let clamped: Vec<u64> = received
-            .entries()
-            .iter()
-            .zip(versions.entries())
-            .map(|(r, k)| (*r).min(*k))
-            .collect();
-        *received = VersionVector::from_entries(clamped);
+        self.received.clamp(versions);
     }
 
     /// Advances the received vector to (at least) `to` without any
@@ -182,14 +259,13 @@ impl PendingApplier {
     /// the migration target, so tagged reads at those versions must not
     /// wait for a replication stream that will never resend them.
     pub fn advance_received(&self, to: &VersionVector) {
-        let mut received = self.received.lock();
-        received.merge(to);
-        self.received_cv.notify_all();
+        self.received.merge(to);
+        self.notify_waiters();
     }
 
     /// Total queued (unapplied) diffs across all pages (diagnostics).
     pub fn pending_count(&self) -> usize {
-        self.queues.lock().values().map(|q| q.lock().len()).sum()
+        self.queues.iter().map(|s| s.lock().values().map(|q| q.lock().len()).sum::<usize>()).sum()
     }
 }
 
@@ -221,7 +297,7 @@ impl ReadGate for PendingApplier {
 impl std::fmt::Debug for PendingApplier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PendingApplier")
-            .field("received", &format!("{}", self.received.lock()))
+            .field("received", &format!("{}", self.received))
             .field("pending", &self.pending_count())
             .finish()
     }
@@ -233,20 +309,20 @@ mod tests {
     use dmv_common::ids::{NodeId, TableId, TxnId};
     use dmv_pagestore::PAGE_SIZE;
 
-    fn ws(seq: u64, table: u16, version: u64, page_no: u32, fill: u8) -> WriteSet {
+    fn ws(seq: u64, table: u16, version: u64, page_no: u32, fill: u8) -> Arc<WriteSet> {
         let before = vec![0u8; PAGE_SIZE];
         let mut after = before.clone();
         after[0] = fill;
         let mut versions = VersionVector::new(2);
         versions.set(TableId(table), version);
-        WriteSet {
+        Arc::new(WriteSet {
             txn: TxnId::new(NodeId(0), seq),
             versions,
             pages: vec![(
                 PageId::heap(TableId(table), page_no),
                 PageDiff::compute(&before, &after),
             )],
-        }
+        })
     }
 
     fn applier() -> (Arc<PageStore>, PendingApplier) {
@@ -263,6 +339,18 @@ mod tests {
         assert_eq!(a.received().get(TableId(0)), 1);
         assert_eq!(a.pending_count(), 1);
         assert_eq!(a.enqueued_count(), 1);
+    }
+
+    #[test]
+    fn enqueue_shares_the_writeset_allocation() {
+        let (_store, a) = applier();
+        let w = ws(1, 0, 1, 0, 10);
+        a.enqueue(&w);
+        // One strong count for the test handle, one for the queue entry:
+        // the queue holds the same allocation, not a copy.
+        assert_eq!(Arc::strong_count(&w), 2);
+        a.apply_all();
+        assert_eq!(Arc::strong_count(&w), 1, "materializing releases the handle");
     }
 
     #[test]
@@ -394,5 +482,32 @@ mod tests {
         // table 1's page remains unapplied
         let id1 = PageId::heap(TableId(1), 0);
         assert_eq!(store.get(id1).unwrap().latch.read().version, 0);
+    }
+
+    #[test]
+    fn multi_page_writeset_spreads_across_shards() {
+        let store = Arc::new(PageStore::new_free());
+        let a = PendingApplier::new(Arc::clone(&store), 2, Duration::from_millis(100));
+        let before = vec![0u8; PAGE_SIZE];
+        let mut after = before.clone();
+        after[0] = 7;
+        let diff = PageDiff::compute(&before, &after);
+        let mut versions = VersionVector::new(2);
+        versions.set(TableId(0), 1);
+        let pages: Vec<(PageId, PageDiff)> =
+            (0..200u32).map(|n| (PageId::heap(TableId(0), n), diff.clone())).collect();
+        let w = Arc::new(WriteSet { txn: TxnId::new(NodeId(0), 1), versions, pages });
+        a.enqueue(&w);
+        assert_eq!(a.pending_count(), 200);
+        // Shards that never saw a page must stay empty; with 200 pages
+        // over 64 shards, several must be occupied.
+        let occupied = a.queues.iter().filter(|s| !s.lock().is_empty()).count();
+        assert!(occupied > 16, "pages concentrated on {occupied} shards");
+        a.apply_all();
+        assert_eq!(a.pending_count(), 0);
+        for n in 0..200u32 {
+            let cell = store.get(PageId::heap(TableId(0), n)).unwrap();
+            assert_eq!(cell.latch.read().data()[0], 7);
+        }
     }
 }

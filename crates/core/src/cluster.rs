@@ -144,9 +144,10 @@ impl DmvCluster {
         let clock = SimClock::new(spec.time_scale);
         let net: Network<Msg> = Network::new(spec.net, clock);
         let n_tables = spec.schema.len();
-        let classes: Vec<Vec<TableId>> = spec.conflict_classes.clone().unwrap_or_else(|| {
-            vec![(0..n_tables as u16).map(TableId).collect()]
-        });
+        let classes: Vec<Vec<TableId>> = spec
+            .conflict_classes
+            .clone()
+            .unwrap_or_else(|| vec![(0..n_tables as u16).map(TableId).collect()]);
         let rc = ReplicaConfig {
             clock,
             cpu: spec.cpu,
@@ -158,16 +159,26 @@ impl DmvCluster {
         let mut masters = Vec::new();
         for i in 0..classes.len() {
             let id = NodeId(i as u32);
-            let node =
-                ReplicaNode::start(id, spec.schema.clone(), ReplicaRole::Master, net.clone(), rc.clone());
+            let node = ReplicaNode::start(
+                id,
+                spec.schema.clone(),
+                ReplicaRole::Master,
+                net.clone(),
+                rc.clone(),
+            );
             replicas.insert(id, Arc::clone(&node));
             masters.push(node);
         }
         let mut slaves = Vec::new();
         for i in 0..spec.n_slaves {
             let id = NodeId(10 + i as u32);
-            let node =
-                ReplicaNode::start(id, spec.schema.clone(), ReplicaRole::Slave, net.clone(), rc.clone());
+            let node = ReplicaNode::start(
+                id,
+                spec.schema.clone(),
+                ReplicaRole::Slave,
+                net.clone(),
+                rc.clone(),
+            );
             replicas.insert(id, Arc::clone(&node));
             slaves.push(node);
         }
@@ -249,19 +260,12 @@ impl DmvCluster {
     pub fn load_rows(&self, table: TableId, rows: Vec<Row>) -> DmvResult<()> {
         assert!(!self.ready.load(Ordering::Acquire), "cluster already live");
         let topo = self.schedulers[0].topology();
-        let class = topo
-            .classes
-            .iter()
-            .position(|c| c.contains(&table))
-            .unwrap_or(0);
+        let class = topo.classes.iter().position(|c| c.contains(&table)).unwrap_or(0);
         let master = &topo.masters[class];
         for chunk in rows.chunks(256) {
             let mut txn = master.db().begin_update();
             for row in chunk {
-                match execute(
-                    &mut txn,
-                    &Query::Insert { table, rows: vec![row.clone()] },
-                ) {
+                match execute(&mut txn, &Query::Insert { table, rows: vec![row.clone()] }) {
                     Ok(_) => {}
                     Err(e) => {
                         txn.abort();
@@ -287,12 +291,8 @@ impl DmvCluster {
             }
         }
         for master in &topo.masters {
-            let targets: Vec<NodeId> = topo
-                .all()
-                .iter()
-                .filter(|r| r.id() != master.id())
-                .map(|r| r.id())
-                .collect();
+            let targets: Vec<NodeId> =
+                topo.all().iter().filter(|r| r.id() != master.id()).map(|r| r.id()).collect();
             master.set_targets(targets);
         }
         // Baseline checkpoint so reintegration always has a floor.
@@ -381,9 +381,7 @@ impl DmvCluster {
             if was_master {
                 // Let the primary scheduler drive promotion, then mirror
                 // the new topology onto the peers.
-                if let Ok(new_master) =
-                    self.schedulers[0].handle_master_failure(node.id(), None)
-                {
+                if let Ok(new_master) = self.schedulers[0].handle_master_failure(node.id(), None) {
                     for s in &self.schedulers[1..] {
                         s.set_topology(self.schedulers[0].topology());
                         s.recover_from_masters();
@@ -476,11 +474,7 @@ impl DmvCluster {
     }
 
     fn alive_scheduler(&self) -> DmvResult<Arc<Scheduler>> {
-        self.schedulers
-            .iter()
-            .find(|s| s.is_alive())
-            .cloned()
-            .ok_or(DmvError::NoReplicaAvailable)
+        self.schedulers.iter().find(|s| s.is_alive()).cloned().ok_or(DmvError::NoReplicaAvailable)
     }
 
     /// Kills a replica node (fail-stop). The monitor reconfigures within

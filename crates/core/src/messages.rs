@@ -3,6 +3,7 @@
 use dmv_common::ids::{NodeId, PageId, TxnId};
 use dmv_common::version::VersionVector;
 use dmv_pagestore::diff::PageDiff;
+use std::sync::Arc;
 
 /// The write-set a master broadcasts at pre-commit (paper Figure 2): the
 /// per-page modification encodings of one update transaction plus the
@@ -45,8 +46,12 @@ impl PageBatch {
 /// Messages carried by the simulated cluster network.
 #[derive(Debug, Clone)]
 pub enum Msg {
-    /// Master → replicas: a pre-commit write-set flush.
-    WriteSet(WriteSet),
+    /// Master → replicas: a pre-commit write-set flush. The write-set is
+    /// shared (`Arc`) so an `n`-slave fan-out clones a pointer per
+    /// target instead of re-allocating the page diffs `n` times; slaves
+    /// keep the same allocation alive in their pending queues until the
+    /// diffs are materialized.
+    WriteSet(Arc<WriteSet>),
     /// Replica → master: write-set received and enqueued.
     WriteSetAck {
         /// The acknowledged transaction.

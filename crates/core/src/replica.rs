@@ -91,6 +91,9 @@ pub struct ReplicaNode {
     // master state
     dbversion: Mutex<VersionVector>,
     commit_seq: Mutex<()>,
+    /// Serializes broadcasts in version order; always acquired while
+    /// still holding `commit_seq` (lock chaining), never the reverse.
+    bcast: Mutex<()>,
     targets: RwLock<Vec<NodeId>>,
     acks: Mutex<HashMap<TxnId, HashSet<NodeId>>>,
     acks_cv: Condvar,
@@ -127,11 +130,8 @@ impl ReplicaNode {
                 cpu_permits: 2,
             },
         ));
-        let applier = Arc::new(PendingApplier::new(
-            Arc::clone(db.store()),
-            schema.len(),
-            cfg.ack_timeout,
-        ));
+        let applier =
+            Arc::new(PendingApplier::new(Arc::clone(db.store()), schema.len(), cfg.ack_timeout));
         db.set_gate(Arc::clone(&applier) as Arc<dyn dmv_memdb::ReadGate>);
         let node = Arc::new(ReplicaNode {
             id,
@@ -144,6 +144,7 @@ impl ReplicaNode {
             shutdown: Arc::new(AtomicBool::new(false)),
             dbversion: Mutex::new(VersionVector::new(schema.len())),
             commit_seq: Mutex::new(()),
+            bcast: Mutex::new(()),
             targets: RwLock::new(Vec::new()),
             acks: Mutex::new(HashMap::new()),
             acks_cv: Condvar::new(),
@@ -268,8 +269,12 @@ impl ReplicaNode {
     }
 
     /// Adds a replication target, returning the current database version
-    /// vector as of a point where no broadcast is in flight — the join
-    /// protocol's "subscribe and obtain the current DBVersion" step.
+    /// vector — the join protocol's "subscribe and obtain the current
+    /// DBVersion" step. Holding `commit_seq` guarantees every commit
+    /// with a version beyond the returned vector sees the new target in
+    /// its snapshot; earlier commits may still be on the wire, but their
+    /// effects reach the joiner through data migration, which waits on a
+    /// support slave until the returned vector has fully arrived.
     pub fn subscribe(&self, node: NodeId) -> VersionVector {
         let _g = self.commit_seq.lock();
         let mut t = self.targets.write();
@@ -318,25 +323,34 @@ impl ReplicaNode {
             txn.commit(None);
             return Ok(self.dbversion());
         }
-        // Pre-commit (Figure 2): all page locks are held throughout.
-        let (ws, new_v, targets_now) = {
-            let _g = self.commit_seq.lock();
-            let pages = txn.precommit();
-            let mut dbv = self.dbversion.lock();
-            for t in txn.write_tables() {
-                dbv.bump(t);
-            }
-            let new_v = dbv.clone();
-            drop(dbv);
-            let ws = WriteSet { txn: txn.id(), versions: new_v.clone(), pages };
-            let targets_now = self.targets.read().clone();
-            let size = ws.encoded_len();
-            for r in &targets_now {
-                // A dead target is skipped; reconfiguration handles it.
-                let _ = self.net.send_external(self.id, *r, Msg::WriteSet(ws.clone()), size);
-            }
-            (ws, new_v, targets_now)
-        };
+        // Pre-commit (Figure 2): all page locks stay held until the
+        // local commit after the ack wait, but the global commit_seq
+        // section covers only diff capture and the version-vector bump.
+        // The broadcast chains onto `bcast` — acquired before commit_seq
+        // is released, so write-sets enter every FIFO link in version
+        // order — letting the next commit capture its diffs while this
+        // one is still on the wire, and the ack wait runs with no
+        // commit-path lock held at all.
+        let seq_guard = self.commit_seq.lock();
+        let pages = txn.precommit();
+        let mut dbv = self.dbversion.lock();
+        for t in txn.write_tables() {
+            dbv.bump(t);
+        }
+        let new_v = dbv.clone();
+        drop(dbv);
+        // The one deep allocation per commit: every target link and
+        // every slave queue shares this Arc.
+        let ws = Arc::new(WriteSet { txn: txn.id(), versions: new_v.clone(), pages });
+        let targets_now = self.targets.read().clone();
+        let bcast_guard = self.bcast.lock();
+        drop(seq_guard);
+        let size = ws.encoded_len();
+        for r in &targets_now {
+            // A dead target is skipped; reconfiguration handles it.
+            let _ = self.net.send_external(self.id, *r, Msg::WriteSet(Arc::clone(&ws)), size);
+        }
+        drop(bcast_guard);
         self.wait_for_acks(ws.txn, &targets_now);
         if !self.is_alive() {
             // Failed before confirming: a new master will tell replicas to

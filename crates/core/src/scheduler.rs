@@ -18,14 +18,14 @@ use dmv_common::config::NetProfile;
 use dmv_common::error::{DmvError, DmvResult};
 use dmv_common::ids::{NodeId, TableId};
 use dmv_common::stats::TxnStats;
-use dmv_common::version::VersionVector;
+use dmv_common::version::{AtomicVersionVector, VersionVector};
 use dmv_ondisk::DiskDb;
 use dmv_simnet::Network;
 use dmv_sql::exec::{RecordingRunner, ResultSet, StatementRunner};
 use dmv_sql::query::Query;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -112,18 +112,28 @@ impl std::fmt::Debug for Topology {
     }
 }
 
-#[derive(Default)]
-struct SlaveState {
-    inflight: usize,
-    last_tag_total: u64,
+/// Per-slave routing state. Every read transaction touches this twice
+/// (admit, complete), so the counters are atomics: routing decisions
+/// read them lock-free under the map's shared read lock, and the map
+/// itself is written only on membership changes.
+#[derive(Default, Debug)]
+struct SlaveLoad {
+    /// Reads currently executing on the slave.
+    inflight: AtomicUsize,
+    /// `total()` of the last tag routed to the slave (the same-version
+    /// preference compares against this).
+    last_tag_total: AtomicU64,
 }
 
 /// The version-aware scheduler.
 pub struct Scheduler {
     id: NodeId,
     topo: RwLock<Topology>,
-    latest: Mutex<VersionVector>,
-    slave_state: Mutex<HashMap<NodeId, SlaveState>>,
+    /// Latest merged version vector; advanced by atomic maximum on
+    /// every commit so concurrent updates and read-tagging never queue
+    /// on a lock.
+    latest: AtomicVersionVector,
+    slave_loads: RwLock<HashMap<NodeId, Arc<SlaveLoad>>>,
     cfg: SchedulerConfig,
     net: Network<Msg>,
     /// Aggregate transaction statistics for this scheduler.
@@ -149,8 +159,8 @@ impl Scheduler {
         let sched = Arc::new(Scheduler {
             id,
             topo: RwLock::new(topo),
-            latest: Mutex::new(VersionVector::new(n_tables)),
-            slave_state: Mutex::new(HashMap::new()),
+            latest: AtomicVersionVector::new(n_tables),
+            slave_loads: RwLock::new(HashMap::new()),
             cfg,
             net,
             stats: Arc::new(TxnStats::new()),
@@ -204,7 +214,7 @@ impl Scheduler {
 
     /// The latest merged version vector.
     pub fn latest(&self) -> VersionVector {
-        self.latest.lock().clone()
+        self.latest.snapshot()
     }
 
     /// Snapshot of the topology.
@@ -234,11 +244,8 @@ impl Scheduler {
         if topo.masters.is_empty() {
             return Err(DmvError::NoReplicaAvailable);
         }
-        let idx = topo
-            .classes
-            .iter()
-            .position(|c| tables.iter().all(|t| c.contains(t)))
-            .unwrap_or(0);
+        let idx =
+            topo.classes.iter().position(|c| tables.iter().all(|t| c.contains(t))).unwrap_or(0);
         let master = Arc::clone(&topo.masters[idx.min(topo.masters.len() - 1)]);
         if !master.is_alive() {
             return Err(DmvError::NodeFailed(master.id()));
@@ -270,7 +277,7 @@ impl Scheduler {
         });
         match res {
             Ok(version) => {
-                self.latest.lock().merge(&version);
+                self.latest.merge(&version);
                 // §4.6: log, then return; backends apply asynchronously.
                 if !self.cfg.log_latency.is_zero() {
                     self.cfg.clock.sleep_paper(self.cfg.log_latency);
@@ -299,11 +306,8 @@ impl Scheduler {
     ///
     /// Same as [`Scheduler::run_update_with`].
     pub fn run_update(&self, queries: &[Query]) -> DmvResult<Vec<ResultSet>> {
-        let mut tables: Vec<TableId> = queries
-            .iter()
-            .filter(|q| q.is_write())
-            .flat_map(|q| q.tables())
-            .collect();
+        let mut tables: Vec<TableId> =
+            queries.iter().filter(|q| q.is_write()).flat_map(|q| q.tables()).collect();
         tables.sort();
         tables.dedup();
         let mut results = Vec::with_capacity(queries.len());
@@ -347,18 +351,20 @@ impl Scheduler {
                 }
             }
         }
-        let alive: Vec<&Arc<ReplicaNode>> =
-            topo.slaves.iter().filter(|s| s.is_alive()).collect();
+        let alive: Vec<&Arc<ReplicaNode>> = topo.slaves.iter().filter(|s| s.is_alive()).collect();
         if alive.is_empty() {
             return Err(DmvError::NoReplicaAvailable);
         }
-        let states = self.slave_state.lock();
+        // Shared read lock on the load map; the counters themselves are
+        // read with relaxed atomic loads. Concurrent admits may race a
+        // decision by one in-flight read — acceptable slack for load
+        // balancing, and it keeps routing off every mutex.
+        let loads = self.slave_loads.read();
         let tag_total = tag.total();
         let inflight_of = |s: &Arc<ReplicaNode>| {
-            states.get(&s.id()).map(|st| st.inflight).unwrap_or(0)
+            loads.get(&s.id()).map(|l| l.inflight.load(Ordering::Relaxed)).unwrap_or(0)
         };
-        let least_loaded =
-            alive.iter().copied().min_by_key(|s| inflight_of(s)).expect("nonempty");
+        let least_loaded = alive.iter().copied().min_by_key(|s| inflight_of(s)).expect("nonempty");
         let best = if self.cfg.same_version_routing {
             // Prefer a replica already serving this version, unless it is
             // badly overloaded relative to the least-loaded one — the
@@ -367,9 +373,9 @@ impl Scheduler {
                 .iter()
                 .copied()
                 .filter(|s| {
-                    states
+                    loads
                         .get(&s.id())
-                        .map(|st| st.last_tag_total == tag_total)
+                        .map(|l| l.last_tag_total.load(Ordering::Relaxed) == tag_total)
                         .unwrap_or(false)
                 })
                 .min_by_key(|s| inflight_of(s))
@@ -379,6 +385,16 @@ impl Scheduler {
             least_loaded
         };
         Ok(Arc::clone(best))
+    }
+
+    /// The load record of one slave, created on first use. The `Arc`
+    /// stays valid across concurrent membership changes, so a completing
+    /// read always decrements the counter it incremented.
+    fn load_of(&self, id: NodeId) -> Arc<SlaveLoad> {
+        if let Some(l) = self.slave_loads.read().get(&id) {
+            return Arc::clone(l);
+        }
+        Arc::clone(self.slave_loads.write().entry(id).or_default())
     }
 
     /// Runs a read-only transaction driven by a statement closure: tags
@@ -396,24 +412,16 @@ impl Scheduler {
         let n = self.read_counter.fetch_add(1, Ordering::Relaxed) + 1;
         // Warmup strategy B: periodic page-id transfer to spares.
         if let WarmupStrategy::PageIdTransfer { every_reads } = self.cfg.warmup {
-            if every_reads > 0 && n % every_reads == 0 {
+            if every_reads > 0 && n.is_multiple_of(every_reads) {
                 self.send_pageid_hints();
             }
         }
-        {
-            let mut states = self.slave_state.lock();
-            let st = states.entry(slave.id()).or_default();
-            st.inflight += 1;
-            st.last_tag_total = tag.total();
-        }
+        let load = self.load_of(slave.id());
+        load.inflight.fetch_add(1, Ordering::Relaxed);
+        load.last_tag_total.store(tag.total(), Ordering::Relaxed);
         self.charge_hop(256);
         let res = slave.execute_read_with(&tag, f);
-        {
-            let mut states = self.slave_state.lock();
-            if let Some(st) = states.get_mut(&slave.id()) {
-                st.inflight = st.inflight.saturating_sub(1);
-            }
-        }
+        load.inflight.fetch_sub(1, Ordering::Relaxed);
         match res {
             Ok(()) => {
                 self.charge_hop(512);
@@ -505,7 +513,7 @@ impl Scheduler {
             .map(|r| r.id())
             .collect();
         new_master.set_targets(targets);
-        self.slave_state.lock().remove(&new_master.id());
+        self.slave_loads.write().remove(&new_master.id());
         Ok(new_master)
     }
 
@@ -518,7 +526,7 @@ impl Scheduler {
         for m in &topo.masters {
             m.unsubscribe(failed);
         }
-        self.slave_state.lock().remove(&failed);
+        self.slave_loads.write().remove(&failed);
     }
 
     /// Activates a spare as a read-serving slave (fail-over target).
@@ -552,9 +560,8 @@ impl Scheduler {
     /// vector from the masters' highest produced versions.
     pub fn recover_from_masters(&self) {
         let topo = self.topo.read();
-        let mut latest = self.latest.lock();
         for m in topo.masters.iter().filter(|m| m.is_alive()) {
-            latest.merge(&m.dbversion());
+            self.latest.merge(&m.dbversion());
         }
     }
 

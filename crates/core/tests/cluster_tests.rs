@@ -3,7 +3,7 @@
 //! reintegration, spare warmup and the persistence tier.
 
 use dmv_common::error::DmvError;
-use dmv_common::ids::{NodeId, TableId};
+use dmv_common::ids::TableId;
 use dmv_core::cluster::{ClusterSpec, DmvCluster};
 use dmv_core::scheduler::WarmupStrategy;
 use dmv_sql::query::{Access, Expr, Query, Select, SetExpr};
@@ -117,8 +117,7 @@ fn monotone_reads_under_concurrent_writers() {
     }
     w.join().unwrap();
     assert!(observed > 0);
-    let final_balance =
-        reader.read_retry(&[read_balance(1)], 10).unwrap()[0].rows[0][0].clone();
+    let final_balance = reader.read_retry(&[read_balance(1)], 10).unwrap()[0].rows[0][0].clone();
     assert_eq!(final_balance, Value::Int(1050));
     cluster.shutdown();
 }
@@ -230,10 +229,7 @@ fn reintegration_catches_up_and_serves() {
     spec.checkpoint_period = Some(Duration::from_secs(3600)); // manual checkpoints only
     let cluster = DmvCluster::start(spec);
     cluster
-        .load_rows(
-            TableId(0),
-            (0..50).map(|i| vec![i.into(), "o".into(), 1000.into()]).collect(),
-        )
+        .load_rows(TableId(0), (0..50).map(|i| vec![i.into(), "o".into(), 1000.into()]).collect())
         .unwrap();
     cluster.finish_load();
     let session = cluster.session();
@@ -265,10 +261,7 @@ fn reintegration_transfers_only_changed_pages() {
     spec.n_slaves = 2;
     let cluster = DmvCluster::start(spec);
     cluster
-        .load_rows(
-            TableId(0),
-            (0..2000).map(|i| vec![i.into(), "o".into(), 1000.into()]).collect(),
-        )
+        .load_rows(TableId(0), (0..2000).map(|i| vec![i.into(), "o".into(), 1000.into()]).collect())
         .unwrap();
     cluster.finish_load();
     let session = cluster.session();
@@ -357,8 +350,8 @@ fn total_memory_tier_loss_recovers_from_backend() {
         session.update(&[deposit(i, i)]).unwrap();
     }
     cluster.shutdown(); // drain feed
-    // Catastrophe: every in-memory node dies. Rebuild a new cluster from
-    // the on-disk backend.
+                        // Catastrophe: every in-memory node dies. Rebuild a new cluster from
+                        // the on-disk backend.
     let backend = Arc::clone(&cluster.backends()[0]);
     let dump = backend.execute_txn(&[scan_all()]).unwrap();
     let mut spec2 = ClusterSpec::fast_test(schema());
@@ -386,10 +379,7 @@ fn conflict_class_masters_run_disjoint_updates() {
     // Class 0: accounts. Class 1: audit. Updates go to different masters.
     session.update(&[deposit(1, 5)]).unwrap();
     session
-        .update(&[Query::Insert {
-            table: TableId(1),
-            rows: vec![vec![1.into(), "note".into()]],
-        }])
+        .update(&[Query::Insert { table: TableId(1), rows: vec![vec![1.into(), "note".into()]] }])
         .unwrap();
     let m0 = cluster.master(0);
     let m1 = cluster.master(1);
@@ -399,9 +389,7 @@ fn conflict_class_masters_run_disjoint_updates() {
     // A read joining both tables sees both effects.
     let rs = session.read_retry(&[read_balance(1)], 5).unwrap();
     assert_eq!(rs[0].rows[0][0], Value::Int(5));
-    let rs = session
-        .read_retry(&[Query::Select(Select::scan(TableId(1)))], 5)
-        .unwrap();
+    let rs = session.read_retry(&[Query::Select(Select::scan(TableId(1)))], 5).unwrap();
     assert_eq!(rs[0].rows.len(), 1);
     cluster.shutdown();
 }
@@ -451,10 +439,7 @@ fn warmup_pageid_transfer_keeps_spare_resident() {
     }
     // Hints travel the simulated network; give the receiver a beat.
     std::thread::sleep(Duration::from_millis(100));
-    assert!(
-        spare.resident_pages() > 0,
-        "page-id transfer must fault hinted pages in"
-    );
+    assert!(spare.resident_pages() > 0, "page-id transfer must fault hinted pages in");
     assert_eq!(
         spare.stats.reads.load(std::sync::atomic::Ordering::Relaxed),
         0,

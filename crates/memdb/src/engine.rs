@@ -7,8 +7,8 @@ use crate::txn::{Txn, TxnMode};
 use dmv_common::clock::SimClock;
 use dmv_common::config::CpuProfile;
 use dmv_common::error::DmvResult;
-use dmv_common::throttle::Throttle;
 use dmv_common::ids::{NodeId, PageId, TableId, TxnId};
+use dmv_common::throttle::Throttle;
 use dmv_common::version::VersionVector;
 use dmv_pagestore::store::{PageCell, PageStore, Residency};
 use dmv_sql::Schema;

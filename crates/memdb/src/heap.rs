@@ -31,9 +31,8 @@ pub fn insert(txn: &mut Txn<'_>, table: TableId, row: &Row) -> DmvResult<RowId> 
     candidates.extend(0..hint);
     for page_no in candidates {
         let id = PageId::heap(table, page_no);
-        let looks_roomy = txn
-            .peek_page(id, |d| slotted::total_free(d) >= bytes.len() + 8)
-            .unwrap_or(false);
+        let looks_roomy =
+            txn.peek_page(id, |d| slotted::total_free(d) >= bytes.len() + 8).unwrap_or(false);
         if !looks_roomy {
             continue;
         }

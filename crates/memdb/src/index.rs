@@ -262,11 +262,7 @@ impl BTreeIndex {
                 let sep = right[0].clone();
                 let new = txn.allocate_page(self.table, self.space())?;
                 self.write_node(txn, new.page_no, &Node::Leaf { next, entries: right })?;
-                self.write_node(
-                    txn,
-                    page_no,
-                    &Node::Leaf { next: Some(new.page_no), entries },
-                )?;
+                self.write_node(txn, page_no, &Node::Leaf { next: Some(new.page_no), entries })?;
                 Ok(Some((sep, new.page_no)))
             }
             Node::Internal { mut keys, mut children } => {
@@ -326,9 +322,7 @@ impl BTreeIndex {
                         Err(_) => return Ok(false),
                     }
                 }
-                Node::Meta { .. } => {
-                    return Err(DmvError::Storage("meta page inside tree".into()))
-                }
+                Node::Meta { .. } => return Err(DmvError::Storage("meta page inside tree".into())),
             }
         }
     }
@@ -341,17 +335,13 @@ impl BTreeIndex {
             match self.read_node(txn, no)? {
                 Node::Internal { keys, children } => {
                     let idx = match probe {
-                        Some(p) => {
-                            keys.partition_point(|k| prefix_cmp(&k.0, p) == Ordering::Less)
-                        }
+                        Some(p) => keys.partition_point(|k| prefix_cmp(&k.0, p) == Ordering::Less),
                         None => 0,
                     };
                     no = children[idx];
                 }
                 Node::Leaf { .. } => return Ok(no),
-                Node::Meta { .. } => {
-                    return Err(DmvError::Storage("meta page inside tree".into()))
-                }
+                Node::Meta { .. } => return Err(DmvError::Storage("meta page inside tree".into())),
             }
         }
     }

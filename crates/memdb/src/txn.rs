@@ -89,11 +89,7 @@ impl<'db> Txn<'db> {
     /// `Deadlock` on lock timeout (update mode), `VersionConflict` if the
     /// page cannot serve the transaction's tag (tagged mode), `Storage`
     /// if the page does not exist.
-    pub(crate) fn read_page<R>(
-        &mut self,
-        id: PageId,
-        f: impl FnOnce(&[u8]) -> R,
-    ) -> DmvResult<R> {
+    pub(crate) fn read_page<R>(&mut self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> DmvResult<R> {
         match &self.mode {
             TxnMode::Update => {
                 // Under declared write intent, heap/index pages are
@@ -164,8 +160,8 @@ impl<'db> Txn<'db> {
             .ok_or_else(|| DmvError::Storage(format!("missing page {id}")))?;
         self.db.store().fault_in(&cell);
         let mut page = cell.latch.write();
-        if !self.undo.contains_key(&id) {
-            self.undo.insert(id, page.data().to_vec());
+        if let std::collections::hash_map::Entry::Vacant(e) = self.undo.entry(id) {
+            e.insert(page.data().to_vec());
             self.dirty_order.push(id);
             cell.set_dirty(true);
         }
@@ -429,10 +425,7 @@ impl Txn<'_> {
                 if new_key != ix.key_of(&old) {
                     let hits = BTreeIndex::new(table, ix_no as u8).lookup_eq(self, &new_key)?;
                     if !hits.is_empty() {
-                        return Err(DmvError::DuplicateKey(format!(
-                            "{} on {}",
-                            ix.name, ts.name
-                        )));
+                        return Err(DmvError::DuplicateKey(format!("{} on {}", ix.name, ts.name)));
                     }
                 }
             }

@@ -128,11 +128,8 @@ fn drop_without_commit_aborts() {
     insert_kv(&db, 1, "one", 10);
     {
         let mut txn = db.begin_update();
-        execute(
-            &mut txn,
-            &Query::Delete { table: TableId(0), access: Access::Auto, filter: None },
-        )
-        .unwrap();
+        execute(&mut txn, &Query::Delete { table: TableId(0), access: Access::Auto, filter: None })
+            .unwrap();
         // dropped here without commit
     }
     let mut r = db.begin_read_local();
@@ -192,11 +189,7 @@ fn delete_removes_from_indexes() {
     let mut txn = db.begin_update();
     execute(
         &mut txn,
-        &Query::Delete {
-            table: TableId(0),
-            access: Access::Auto,
-            filter: Some(Expr::eq(2, 0)),
-        },
+        &Query::Delete { table: TableId(0), access: Access::Auto, filter: Some(Expr::eq(2, 0)) },
     )
     .unwrap();
     txn.commit(None);
@@ -229,7 +222,14 @@ fn btree_survives_many_inserts_with_splits() {
     }
     // range scan ordered
     let rows = r
-        .index_range(TableId(0), 0, Some((&[Value::Int(100)], true)), Some((&[Value::Int(200)], true)), false, None)
+        .index_range(
+            TableId(0),
+            0,
+            Some((&[Value::Int(100)], true)),
+            Some((&[Value::Int(200)], true)),
+            false,
+            None,
+        )
         .unwrap();
     assert_eq!(rows.len(), 101);
     let got: Vec<i64> = rows.iter().map(|(_, r)| r[0].as_int().unwrap()).collect();
@@ -336,9 +336,7 @@ fn write_set_application_converges_bitwise() {
     assert!(!ids.is_empty());
     for id in ids {
         let m = master_store.get(id).unwrap();
-        let r = replica
-            .get(id)
-            .unwrap_or_else(|| panic!("replica missing page {id}"));
+        let r = replica.get(id).unwrap_or_else(|| panic!("replica missing page {id}"));
         let mi = m.latch.read();
         let ri = r.latch.read();
         assert_eq!(mi.data(), ri.data(), "page {id} diverged");
@@ -392,10 +390,8 @@ fn concurrent_writers_disjoint_keys_commit() {
             for i in 0..25i64 {
                 let k = 1000 + t * 100 + i;
                 let mut txn = db.begin_update();
-                let res = txn.insert(
-                    TableId(0),
-                    vec![k.into(), format!("w{t}").into(), (k % 7).into()],
-                );
+                let res =
+                    txn.insert(TableId(0), vec![k.into(), format!("w{t}").into(), (k % 7).into()]);
                 match res {
                     Ok(_) => {
                         txn.precommit();

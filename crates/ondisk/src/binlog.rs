@@ -45,8 +45,7 @@ impl Binlog {
     /// record (log replay reads from disk).
     pub fn read_from(&self, from: u64) -> Vec<BinlogRecord> {
         let records = self.records.lock();
-        let out: Vec<BinlogRecord> =
-            records.iter().filter(|r| r.seq >= from).cloned().collect();
+        let out: Vec<BinlogRecord> = records.iter().filter(|r| r.seq >= from).cloned().collect();
         drop(records);
         for _ in &out {
             self.throttle.charge(self.disk.seq_read_latency);

@@ -149,7 +149,6 @@ impl DiskDb {
                 Ok(()) => rec.writes,
                 Err(e) => {
                     drop(rec);
-                    drop(er);
                     txn.abort();
                     return Err(e);
                 }
@@ -203,7 +202,11 @@ impl DiskDb {
     /// # Errors
     ///
     /// Propagates insert errors (duplicate keys, schema violations).
-    pub fn bulk_load(&self, table: dmv_common::ids::TableId, rows: &[dmv_sql::Row]) -> DmvResult<()> {
+    pub fn bulk_load(
+        &self,
+        table: dmv_common::ids::TableId,
+        rows: &[dmv_sql::Row],
+    ) -> DmvResult<()> {
         use dmv_sql::exec::ExecContext;
         for chunk in rows.chunks(512) {
             let mut txn = self.inner.begin_update();
@@ -299,9 +302,7 @@ mod tests {
         let db = DiskDb::new(schema(), DiskDbOptions::default());
         db.execute_txn(&[insert(1, "a"), insert(2, "b")]).unwrap();
         assert_eq!(db.wal().len(), 1);
-        let rs = db
-            .execute_txn(&[Query::Select(Select::scan(TableId(0)))])
-            .unwrap();
+        let rs = db.execute_txn(&[Query::Select(Select::scan(TableId(0)))]).unwrap();
         assert_eq!(rs[0].rows.len(), 2);
         // read-only transactions do not force the log
         assert_eq!(db.wal().len(), 1);

@@ -59,10 +59,7 @@ impl InnoDbTier {
             spare: Arc::new(DiskDb::new(schema, opts.clone())),
             spare_active: std::sync::atomic::AtomicBool::new(false),
             spare_applied: AtomicU64::new(0),
-            binlog: Binlog::new(
-                dmv_common::throttle::Throttle::new(opts.clock, 1),
-                opts.disk,
-            ),
+            binlog: Binlog::new(dmv_common::throttle::Throttle::new(opts.clock, 1), opts.disk),
             rr: AtomicUsize::new(0),
             clock: opts.clock,
         }
@@ -217,7 +214,11 @@ impl InnoDbTier {
     /// # Errors
     ///
     /// Propagates insert errors.
-    pub fn bulk_load(&self, table: dmv_common::ids::TableId, rows: &[dmv_sql::Row]) -> DmvResult<()> {
+    pub fn bulk_load(
+        &self,
+        table: dmv_common::ids::TableId,
+        rows: &[dmv_sql::Row],
+    ) -> DmvResult<()> {
         for db in &self.actives {
             db.bulk_load(table, rows)?;
         }

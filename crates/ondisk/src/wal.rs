@@ -1,8 +1,8 @@
 //! Write-ahead log with commit-time fsync and sequential replay.
 
 use dmv_common::config::DiskProfile;
-use dmv_common::throttle::Throttle;
 use dmv_common::ids::TxnId;
+use dmv_common::throttle::Throttle;
 use dmv_sql::query::Query;
 use parking_lot::Mutex;
 
@@ -59,8 +59,7 @@ impl Wal {
     /// dominates InnoDB fail-over in Figure 6).
     pub fn read_from(&self, from: u64) -> Vec<WalRecord> {
         let records = self.records.lock();
-        let out: Vec<WalRecord> =
-            records.iter().filter(|r| r.lsn >= from).cloned().collect();
+        let out: Vec<WalRecord> = records.iter().filter(|r| r.lsn >= from).cloned().collect();
         drop(records);
         for _ in &out {
             self.throttle.charge(self.disk.seq_read_latency);

@@ -12,6 +12,9 @@ use serde::{Deserialize, Serialize};
 /// Unchanged-byte gaps up to this length are swallowed into one run.
 const MERGE_GAP: usize = 8;
 
+/// Word width of the fast comparison path in [`PageDiff::compute`].
+const WORD: usize = 8;
+
 /// Per-run overhead assumed by [`PageDiff::encoded_len`] (offset + length).
 const RUN_HEADER: usize = 4;
 
@@ -46,10 +49,52 @@ pub struct PageDiff {
 impl PageDiff {
     /// Computes the diff turning `before` into `after`.
     ///
+    /// Scans the images [`WORD`] bytes at a time and descends to byte
+    /// granularity only inside words that differ, so the common case —
+    /// pages that are mostly unchanged — costs one `u64` compare per
+    /// eight bytes. Produces output identical to
+    /// [`compute_bytewise`](Self::compute_bytewise) (proptest-checked):
+    /// a change merges into the previous run iff it starts no more than
+    /// `MERGE_GAP + 1` bytes past the run's last changed byte.
+    ///
     /// # Panics
     ///
     /// Panics if the images are not both [`PAGE_SIZE`] bytes.
     pub fn compute(before: &[u8], after: &[u8]) -> Self {
+        assert_eq!(before.len(), PAGE_SIZE, "before image must be a full page");
+        assert_eq!(after.len(), PAGE_SIZE, "after image must be a full page");
+        let mut runs: Vec<DiffRun> = Vec::new();
+        let mut i = next_changed(before, after, 0);
+        while i < PAGE_SIZE {
+            let start = i;
+            let mut last_change = i;
+            loop {
+                let j = next_changed(before, after, last_change + 1);
+                if j < PAGE_SIZE && j - last_change <= MERGE_GAP + 1 {
+                    last_change = j;
+                } else {
+                    let run_end = last_change + 1;
+                    runs.push(DiffRun {
+                        offset: start as u16,
+                        bytes: after[start..run_end].to_vec(),
+                    });
+                    i = j;
+                    break;
+                }
+            }
+        }
+        PageDiff { runs }
+    }
+
+    /// Byte-at-a-time reference implementation of [`compute`](Self::compute).
+    ///
+    /// Kept public as the specification the word-wise scanner is tested
+    /// against (and as the baseline in the diff micro-benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the images are not both [`PAGE_SIZE`] bytes.
+    pub fn compute_bytewise(before: &[u8], after: &[u8]) -> Self {
         assert_eq!(before.len(), PAGE_SIZE, "before image must be a full page");
         assert_eq!(after.len(), PAGE_SIZE, "after image must be a full page");
         let mut runs: Vec<DiffRun> = Vec::new();
@@ -133,6 +178,37 @@ impl PageDiff {
     }
 }
 
+/// Index of the first byte at or after `i` where the images differ, or
+/// `PAGE_SIZE` if they agree to the end. Compares whole words once `i`
+/// is word-aligned; on a word mismatch the first differing byte inside
+/// it is located through the XOR of the two words.
+fn next_changed(before: &[u8], after: &[u8], mut i: usize) -> usize {
+    while i < PAGE_SIZE && !i.is_multiple_of(WORD) {
+        if before[i] != after[i] {
+            return i;
+        }
+        i += 1;
+    }
+    while i + WORD <= PAGE_SIZE {
+        let a = u64::from_le_bytes(before[i..i + WORD].try_into().expect("word slice"));
+        let b = u64::from_le_bytes(after[i..i + WORD].try_into().expect("word slice"));
+        let x = a ^ b;
+        if x != 0 {
+            // from_le_bytes maps byte k of the slice to bits 8k..8k+8,
+            // so the lowest set bit identifies the first differing byte.
+            return i + (x.trailing_zeros() / 8) as usize;
+        }
+        i += WORD;
+    }
+    while i < PAGE_SIZE {
+        if before[i] != after[i] {
+            return i;
+        }
+        i += 1;
+    }
+    PAGE_SIZE
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +286,35 @@ mod tests {
         let d = PageDiff::compute(&before, &after);
         assert!(d.encoded_len() < PAGE_SIZE / 100);
     }
+
+    #[test]
+    fn merge_gap_boundary_exact() {
+        let before = page_with(&[]);
+        // A second change MERGE_GAP + 1 bytes past the first still merges…
+        let merged = page_with(&[(100, 1), (100 + MERGE_GAP + 1, 2)]);
+        assert_eq!(PageDiff::compute(&before, &merged).run_count(), 1);
+        // …one byte further and the runs split.
+        let split = page_with(&[(100, 1), (100 + MERGE_GAP + 2, 2)]);
+        assert_eq!(PageDiff::compute(&before, &split).run_count(), 2);
+    }
+
+    #[test]
+    fn wordwise_and_bytewise_agree_on_fixtures() {
+        let before = page_with(&[(7, 3), (8, 4), (63, 5)]);
+        let cases = [
+            page_with(&[]),
+            page_with(&[(0, 9)]),
+            page_with(&[(7, 3), (8, 4), (63, 5)]), // identical to before
+            page_with(&[(6, 1), (9, 2), (64, 3), (PAGE_SIZE - 1, 4)]),
+            page_with(&[(15, 1), (16, 2), (17, 3)]), // straddles a word boundary
+        ];
+        for after in &cases {
+            assert_eq!(
+                PageDiff::compute(&before, after),
+                PageDiff::compute_bytewise(&before, after)
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,7 +333,51 @@ mod props {
         })
     }
 
+    fn arb_page_blocks() -> impl Strategy<Value = Vec<u8>> {
+        // contiguous mutated blocks exercise the word-compare path and
+        // the MERGE_GAP boundary between nearby runs
+        proptest::collection::vec((0usize..PAGE_SIZE, 1usize..24, any::<u8>()), 0..16).prop_map(
+            |blocks| {
+                let mut p = vec![0u8; PAGE_SIZE];
+                for (start, len, b) in blocks {
+                    let end = (start + len).min(PAGE_SIZE);
+                    for slot in &mut p[start..end] {
+                        *slot = b;
+                    }
+                }
+                p
+            },
+        )
+    }
+
     proptest! {
+        #[test]
+        fn wordwise_matches_bytewise_sparse(before in arb_page(), after in arb_page()) {
+            prop_assert_eq!(
+                PageDiff::compute(&before, &after),
+                PageDiff::compute_bytewise(&before, &after)
+            );
+        }
+
+        #[test]
+        fn wordwise_matches_bytewise_blocks(
+            before in arb_page_blocks(),
+            after in arb_page_blocks(),
+        ) {
+            prop_assert_eq!(
+                PageDiff::compute(&before, &after),
+                PageDiff::compute_bytewise(&before, &after)
+            );
+        }
+
+        #[test]
+        fn block_diffs_roundtrip(before in arb_page_blocks(), after in arb_page_blocks()) {
+            let d = PageDiff::compute(&before, &after);
+            let mut t = before.clone();
+            d.apply(&mut t);
+            prop_assert_eq!(t, after);
+        }
+
         #[test]
         fn apply_compute_roundtrip(before in arb_page(), after in arb_page()) {
             let d = PageDiff::compute(&before, &after);

@@ -365,11 +365,14 @@ mod props {
                         if known_slots.is_empty() { continue; }
                         let s = known_slots[i % known_slots.len()];
                         let ok = update(&mut d, s, &rec);
-                        if model.contains_key(&s) {
-                            if ok { model.insert(s, rec); }
-                            // failed grow must preserve the old record
-                        } else {
-                            prop_assert!(!ok, "update of dead slot succeeded");
+                        match model.entry(s) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                // failed grow must preserve the old record
+                                if ok { e.insert(rec); }
+                            }
+                            std::collections::hash_map::Entry::Vacant(_) => {
+                                prop_assert!(!ok, "update of dead slot succeeded");
+                            }
                         }
                     }
                     Op::Delete(i) => {

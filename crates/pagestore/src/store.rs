@@ -157,10 +157,8 @@ impl PageStore {
             return c;
         }
         let mut pages = self.pages.write();
-        let cell = pages
-            .entry(id)
-            .or_insert_with(|| Arc::new(PageCell::new(Page::new(), true)))
-            .clone();
+        let cell =
+            pages.entry(id).or_insert_with(|| Arc::new(PageCell::new(Page::new(), true))).clone();
         drop(pages);
         let mut next = self.next_page_no.lock();
         let counter = next.entry((id.table, id.space)).or_insert(0);

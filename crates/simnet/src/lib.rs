@@ -86,10 +86,7 @@ impl<M: Send + 'static> Network<M> {
     pub fn register(&self, node: NodeId) -> Endpoint<M> {
         let (tx, rx) = crossbeam::channel::unbounded();
         let alive = Arc::new(AtomicBool::new(true));
-        self.inner
-            .nodes
-            .write()
-            .insert(node, NodeHandle { sender: tx, alive: Arc::clone(&alive) });
+        self.inner.nodes.write().insert(node, NodeHandle { sender: tx, alive: Arc::clone(&alive) });
         Endpoint { node, receiver: rx, net: Arc::clone(&self.inner), alive }
     }
 
@@ -175,10 +172,7 @@ fn send_inner<M>(
     if !handle.alive.load(Ordering::Acquire) {
         return Err(DmvError::NoSuchNode(to));
     }
-    handle
-        .sender
-        .send(Envelope { from, msg, deliver_at })
-        .map_err(|_| DmvError::NoSuchNode(to))?;
+    handle.sender.send(Envelope { from, msg, deliver_at }).map_err(|_| DmvError::NoSuchNode(to))?;
     inner.messages_sent.fetch_add(1, Ordering::Relaxed);
     inner.bytes_sent.fetch_add(size as u64, Ordering::Relaxed);
     Ok(())

@@ -331,11 +331,9 @@ fn run_select(ctx: &mut dyn ExecContext, s: &Select) -> DmvResult<ResultSet> {
                     .into_iter()
                     .map(|(_, r)| r)
                     .collect(),
-                (None, Some(all)) => all
-                    .iter()
-                    .filter(|r| r.get(join.right_col) == Some(&key))
-                    .cloned()
-                    .collect(),
+                (None, Some(all)) => {
+                    all.iter().filter(|r| r.get(join.right_col) == Some(&key)).cloned().collect()
+                }
                 (None, None) => unreachable!(),
             };
             for right in rights {
@@ -403,7 +401,8 @@ fn aggregate(rows: Vec<Row>, cols: &[usize], aggs: &[AggFn]) -> Vec<Row> {
     let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
     let mut order: Vec<Vec<Value>> = Vec::new();
     for row in rows {
-        let key: Vec<Value> = cols.iter().map(|&c| row.get(c).cloned().unwrap_or(Value::Null)).collect();
+        let key: Vec<Value> =
+            cols.iter().map(|&c| row.get(c).cloned().unwrap_or(Value::Null)).collect();
         let states = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key.clone());
             vec![fresh.clone(); aggs.len()]
@@ -525,11 +524,7 @@ pub(crate) mod mock {
             key: &[Value],
         ) -> DmvResult<Vec<(RowId, Row)>> {
             let ix = self.schema.table(table)?.indexes[index_no as usize].clone();
-            Ok(self
-                .live(table)
-                .into_iter()
-                .filter(|(_, r)| ix.key_of(r) == key)
-                .collect())
+            Ok(self.live(table).into_iter().filter(|(_, r)| ix.key_of(r) == key).collect())
         }
 
         fn index_range(
@@ -579,10 +574,7 @@ pub(crate) mod mock {
                 if ix.unique {
                     let key = ix.key_of(&row);
                     if self.live(table).iter().any(|(_, r)| ix.key_of(r) == key) {
-                        return Err(DmvError::DuplicateKey(format!(
-                            "{} on {}",
-                            ix.name, ts.name
-                        )));
+                        return Err(DmvError::DuplicateKey(format!("{} on {}", ix.name, ts.name)));
                     }
                 }
             }
@@ -621,10 +613,7 @@ mod tests {
                     Column::new("i_a_id", ColType::Int),
                     Column::new("i_stock", ColType::Int),
                 ],
-                vec![
-                    IndexDef::unique("pk", vec![0]),
-                    IndexDef::non_unique("by_author", vec![2]),
-                ],
+                vec![IndexDef::unique("pk", vec![0]), IndexDef::non_unique("by_author", vec![2])],
             ),
             TableSchema::new(
                 TableId(1),
@@ -683,9 +672,7 @@ mod tests {
     #[test]
     fn auto_access_picks_index() {
         let mut ctx = ctx_with_data();
-        let q = Query::Select(
-            Select::scan(TableId(0)).access(Access::Auto).filter(Expr::eq(0, 3)),
-        );
+        let q = Query::Select(Select::scan(TableId(0)).access(Access::Auto).filter(Expr::eq(0, 3)));
         let rs = execute(&mut ctx, &q).unwrap();
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::Int(3));
@@ -719,10 +706,12 @@ mod tests {
     #[test]
     fn join_without_index_falls_back_to_scan() {
         let mut ctx = ctx_with_data();
-        let q = Query::Select(
-            Select::scan(TableId(0))
-                .join(Join { table: TableId(1), left_col: 2, right_col: 0, right_index: None }),
-        );
+        let q = Query::Select(Select::scan(TableId(0)).join(Join {
+            table: TableId(1),
+            left_col: 2,
+            right_col: 0,
+            right_index: None,
+        }));
         let rs = execute(&mut ctx, &q).unwrap();
         assert_eq!(rs.rows.len(), 3);
         assert_eq!(rs.rows[0].len(), 6);
@@ -760,10 +749,10 @@ mod tests {
     #[test]
     fn aggregates_count_avg_min_max() {
         let mut ctx = ctx_with_data();
-        let q = Query::Select(Select::scan(TableId(2)).group(
-            vec![],
-            vec![AggFn::Count, AggFn::Avg(3), AggFn::Min(3), AggFn::Max(3)],
-        ));
+        let q = Query::Select(
+            Select::scan(TableId(2))
+                .group(vec![], vec![AggFn::Count, AggFn::Avg(3), AggFn::Min(3), AggFn::Max(3)]),
+        );
         let rs = execute(&mut ctx, &q).unwrap();
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::Int(4));
@@ -799,8 +788,8 @@ mod tests {
         };
         let rs = execute(&mut ctx, &q).unwrap();
         assert_eq!(rs.affected, 1);
-        let check = execute(&mut ctx, &Query::Select(Select::by_pk(TableId(0), vec![1.into()])))
-            .unwrap();
+        let check =
+            execute(&mut ctx, &Query::Select(Select::by_pk(TableId(0), vec![1.into()]))).unwrap();
         assert_eq!(check.rows[0][3], Value::Int(3));
     }
 
@@ -826,11 +815,8 @@ mod tests {
     #[test]
     fn delete_with_filter() {
         let mut ctx = ctx_with_data();
-        let q = Query::Delete {
-            table: TableId(2),
-            access: Access::Auto,
-            filter: Some(Expr::eq(1, 1)),
-        };
+        let q =
+            Query::Delete { table: TableId(2), access: Access::Auto, filter: Some(Expr::eq(1, 1)) };
         let rs = execute(&mut ctx, &q).unwrap();
         assert_eq!(rs.affected, 2);
         let left = execute(&mut ctx, &Query::Select(Select::scan(TableId(2)))).unwrap();
@@ -840,13 +826,9 @@ mod tests {
     #[test]
     fn insert_validates_and_detects_duplicates() {
         let mut ctx = ctx_with_data();
-        let bad_arity =
-            Query::Insert { table: TableId(1), rows: vec![vec![Value::Int(1)]] };
+        let bad_arity = Query::Insert { table: TableId(1), rows: vec![vec![Value::Int(1)]] };
         assert!(matches!(execute(&mut ctx, &bad_arity), Err(DmvError::Schema(_))));
-        let dup = Query::Insert {
-            table: TableId(1),
-            rows: vec![vec![10.into(), "Dup".into()]],
-        };
+        let dup = Query::Insert { table: TableId(1), rows: vec![vec![10.into(), "Dup".into()]] };
         assert!(matches!(execute(&mut ctx, &dup), Err(DmvError::DuplicateKey(_))));
     }
 
@@ -863,9 +845,7 @@ mod tests {
     #[test]
     fn scalar_helper() {
         let mut ctx = ctx_with_data();
-        let q = Query::Select(
-            Select::by_pk(TableId(1), vec![10.into()]).project(vec![1]),
-        );
+        let q = Query::Select(Select::by_pk(TableId(1), vec![10.into()]).project(vec![1]));
         let rs = execute(&mut ctx, &q).unwrap();
         assert_eq!(rs.scalar(), Some(&Value::from("Knuth")));
     }

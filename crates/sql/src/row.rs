@@ -69,9 +69,9 @@ pub fn decode_row(bytes: &[u8]) -> DmvResult<Row> {
             TAG_FALSE => Value::Bool(false),
             TAG_TRUE => Value::Bool(true),
             TAG_INT => Value::Int(i64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap())),
-            TAG_FLOAT => {
-                Value::Float(f64::from_bits(u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap())))
-            }
+            TAG_FLOAT => Value::Float(f64::from_bits(u64::from_le_bytes(
+                take(&mut at, 8)?.try_into().unwrap(),
+            ))),
             TAG_STR => {
                 let len = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap()) as usize;
                 let s = take(&mut at, len)?;
@@ -119,21 +119,21 @@ mod tests {
 
     #[test]
     fn truncated_bytes_error() {
-        let bytes = encode_row(&vec![Value::Int(5)]);
+        let bytes = encode_row(&[Value::Int(5)]);
         assert!(decode_row(&bytes[..bytes.len() - 1]).is_err());
         assert!(decode_row(&[]).is_err());
     }
 
     #[test]
     fn trailing_garbage_error() {
-        let mut bytes = encode_row(&vec![Value::Int(5)]);
+        let mut bytes = encode_row(&[Value::Int(5)]);
         bytes.push(0);
         assert!(decode_row(&bytes).is_err());
     }
 
     #[test]
     fn bad_tag_error() {
-        let mut bytes = encode_row(&vec![Value::Null]);
+        let mut bytes = encode_row(&[Value::Null]);
         bytes[2] = 99;
         assert!(decode_row(&bytes).is_err());
     }
@@ -162,7 +162,7 @@ mod props {
             prop_assert_eq!(back.len(), row.len());
             for (a, b) in back.iter().zip(&row) {
                 // bitwise compare floats (NaN-safe) via encoding again
-                prop_assert_eq!(encode_row(&[a.clone()]), encode_row(&[b.clone()]));
+                prop_assert_eq!(encode_row(std::slice::from_ref(a)), encode_row(std::slice::from_ref(b)));
             }
         }
 

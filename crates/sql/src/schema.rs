@@ -250,9 +250,7 @@ mod tests {
         let t = demo_table();
         assert!(t.validate(&[Value::Int(1)]).is_err(), "arity");
         assert!(t.validate(&[Value::Null, "x".into(), Value::Null]).is_err(), "null pk");
-        assert!(t
-            .validate(&[Value::Int(1), Value::Int(2), Value::Null])
-            .is_err(), "type mismatch");
+        assert!(t.validate(&[Value::Int(1), Value::Int(2), Value::Null]).is_err(), "type mismatch");
     }
 
     #[test]

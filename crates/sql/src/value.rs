@@ -323,7 +323,7 @@ mod props {
 
         #[test]
         fn ordering_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
-            let mut v = vec![a, b, c];
+            let mut v = [a, b, c];
             v.sort();
             prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
         }

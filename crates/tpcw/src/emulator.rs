@@ -144,8 +144,7 @@ pub fn spawn_emulator(
             .name(format!("tpcw-client-{client}"))
             .spawn(move || {
                 let mut rng = derive(cfg.seed, client as u64);
-                let mut state =
-                    ClientState::new(rng.gen_range(1..=(scale.customers as i64)));
+                let mut state = ClientState::new(rng.gen_range(1..=(scale.customers as i64)));
                 let warmup_end = cfg.warmup;
                 let run_end = cfg.warmup + cfg.duration;
                 loop {
@@ -172,8 +171,7 @@ pub fn spawn_emulator(
                         }
                     }
                     let now_date = 13_000 + t0.as_secs() as i64;
-                    let mut interaction =
-                        plan(kind, &mut rng, &mut state, &ids, scale, now_date);
+                    let mut interaction = plan(kind, &mut rng, &mut state, &ids, scale, now_date);
                     let res = backend.run(&mut interaction, cfg.retries);
                     let t1 = clock.now_paper() - start;
                     let latency = t1.saturating_sub(t0);

@@ -6,7 +6,10 @@
 //! re-executes identically after its aborted attempt rolled back.
 
 use crate::populate::{Population, TpcwScale, TITLE_WORDS};
-use crate::schema::{self, author as au, cart_line as scl, customer as cu, item as it, order_line as ol, orders as ord, SUBJECTS};
+use crate::schema::{
+    self, author as au, cart_line as scl, customer as cu, item as it, order_line as ol,
+    orders as ord, SUBJECTS,
+};
 use dmv_common::error::DmvResult;
 use dmv_common::ids::TableId;
 use dmv_sql::exec::StatementRunner;
@@ -224,13 +227,16 @@ impl ClientState {
     }
 }
 
+/// The statement-driving closure of a planned interaction.
+pub type ExecFn = Box<dyn FnMut(&mut dyn StatementRunner) -> DmvResult<()> + Send>;
+
 /// A planned interaction, ready to execute (possibly repeatedly, on
 /// retry) against any backend.
 pub struct Interaction {
     /// Which interaction this is.
     pub kind: InteractionKind,
     /// The statement-driving closure.
-    pub exec: Box<dyn FnMut(&mut dyn StatementRunner) -> DmvResult<()> + Send>,
+    pub exec: ExecFn,
 }
 
 impl std::fmt::Debug for Interaction {
@@ -513,9 +519,12 @@ pub fn plan<R: Rng>(
                 filter: None,
                 set: vec![(1, SetExpr::Value(now.into()))],
             });
-            queries.push(Query::Select(Select::scan(schema::CART_LINE).access(
-                Access::IndexEq { index_no: scl::IDX_BY_CART, key: vec![sc_id.into()] },
-            )));
+            queries.push(Query::Select(
+                Select::scan(schema::CART_LINE).access(Access::IndexEq {
+                    index_no: scl::IDX_BY_CART,
+                    key: vec![sc_id.into()],
+                }),
+            ));
             state.cart = Some((sc_id, lines));
             batch(kind, queries)
         }
@@ -601,10 +610,11 @@ pub fn plan<R: Rng>(
         }
         InteractionKind::OrderInquiry => {
             let c_id = state.c_id;
-            let q = Query::Select(Select::scan(schema::CUSTOMER).access(Access::IndexEq {
-                index_no: 1,
-                key: vec![format!("user{c_id}").into()],
-            }));
+            let q =
+                Query::Select(Select::scan(schema::CUSTOMER).access(Access::IndexEq {
+                    index_no: 1,
+                    key: vec![format!("user{c_id}").into()],
+                }));
             batch(kind, vec![q])
         }
         InteractionKind::OrderDisplay => {
@@ -710,8 +720,7 @@ mod tests {
     #[test]
     fn update_classification_matches_paper_classes() {
         use InteractionKind::*;
-        let updates: Vec<_> =
-            InteractionKind::ALL.iter().filter(|k| k.is_update()).collect();
+        let updates: Vec<_> = InteractionKind::ALL.iter().filter(|k| k.is_update()).collect();
         assert_eq!(
             updates,
             vec![&ShoppingCart, &CustomerRegistration, &BuyRequest, &BuyConfirm, &AdminConfirm]

@@ -38,12 +38,8 @@ impl Mix {
     pub fn weights(&self) -> [u32; 14] {
         match self {
             // Home, NewP, BestS, ProdD, SReq, SRes, Cart, CReg, BReq, BConf, OInq, ODisp, AReq, AConf
-            Mix::Browsing => {
-                [2900, 1100, 1100, 2100, 1200, 1100, 200, 82, 75, 69, 30, 25, 10, 9]
-            }
-            Mix::Shopping => {
-                [1600, 500, 500, 1700, 2000, 1700, 1160, 300, 260, 120, 75, 66, 10, 9]
-            }
+            Mix::Browsing => [2900, 1100, 1100, 2100, 1200, 1100, 200, 82, 75, 69, 30, 25, 10, 9],
+            Mix::Shopping => [1600, 500, 500, 1700, 2000, 1700, 1160, 300, 260, 120, 75, 66, 10, 9],
             Mix::Ordering => {
                 [912, 46, 46, 1235, 1453, 1308, 1353, 1286, 1273, 1018, 25, 22, 12, 11]
             }

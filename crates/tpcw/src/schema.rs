@@ -159,10 +159,30 @@ pub mod cart_line {
 
 /// The 24 TPC-W item subjects.
 pub const SUBJECTS: [&str; 24] = [
-    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING", "HEALTH", "HISTORY",
-    "HOME", "HUMOR", "LITERATURE", "MYSTERY", "NON-FICTION", "PARENTING", "POLITICS",
-    "REFERENCE", "RELIGION", "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION",
-    "SPORTS", "YOUTH", "TRAVEL",
+    "ARTS",
+    "BIOGRAPHIES",
+    "BUSINESS",
+    "CHILDREN",
+    "COMPUTERS",
+    "COOKING",
+    "HEALTH",
+    "HISTORY",
+    "HOME",
+    "HUMOR",
+    "LITERATURE",
+    "MYSTERY",
+    "NON-FICTION",
+    "PARENTING",
+    "POLITICS",
+    "REFERENCE",
+    "RELIGION",
+    "ROMANCE",
+    "SELF-HELP",
+    "SCIENCE-NATURE",
+    "SCIENCE-FICTION",
+    "SPORTS",
+    "YOUTH",
+    "TRAVEL",
 ];
 
 /// Builds the TPC-W schema.

@@ -180,10 +180,10 @@ fn dmv_and_diskdb_agree_on_workload_effects() {
     use dmv_tpcw::schema::{ORDERS, ORDER_LINE};
     let q_orders = Query::Select(Select::scan(ORDERS).order_by(0, false));
     let q_lines = Query::Select(Select::scan(ORDER_LINE).order_by(0, false));
-    let dmv_orders = cluster.session().read_retry(&[q_orders.clone()], 10).unwrap();
+    let dmv_orders = cluster.session().read_retry(std::slice::from_ref(&q_orders), 10).unwrap();
     let disk_orders = db.execute_txn(&[q_orders]).unwrap();
     assert_eq!(dmv_orders[0].rows, disk_orders[0].rows, "orders diverged");
-    let dmv_lines = cluster.session().read_retry(&[q_lines.clone()], 10).unwrap();
+    let dmv_lines = cluster.session().read_retry(std::slice::from_ref(&q_lines), 10).unwrap();
     let disk_lines = db.execute_txn(&[q_lines]).unwrap();
     assert_eq!(dmv_lines[0].rows, disk_lines[0].rows, "order lines diverged");
     cluster.shutdown();

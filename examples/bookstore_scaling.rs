@@ -6,15 +6,15 @@
 //! cargo run --release --example bookstore_scaling
 //! ```
 
+use dmv::common::clock::{SimClock, TimeScale};
 use dmv::core::cluster::{ClusterSpec, DmvCluster};
+use dmv::ondisk::{DiskDb, DiskDbOptions};
 use dmv::tpcw::backend::{load_cluster, load_diskdb, Backend};
 use dmv::tpcw::emulator::{run_emulator, EmulatorConfig};
 use dmv::tpcw::interactions::IdAllocator;
 use dmv::tpcw::populate::{generate, TpcwScale};
 use dmv::tpcw::schema::tpcw_schema;
 use dmv::tpcw::Mix;
-use dmv::common::clock::{SimClock, TimeScale};
-use dmv::ondisk::{DiskDb, DiskDbOptions};
 use std::sync::Arc;
 use std::time::Duration;
 

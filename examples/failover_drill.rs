@@ -8,7 +8,9 @@
 
 use dmv::common::ids::TableId;
 use dmv::core::cluster::{ClusterSpec, DmvCluster};
-use dmv::sql::{Access, ColType, Column, Expr, IndexDef, Query, Schema, Select, SetExpr, TableSchema};
+use dmv::sql::{
+    Access, ColType, Column, Expr, IndexDef, Query, Schema, Select, SetExpr, TableSchema,
+};
 use std::time::Duration;
 
 fn main() -> Result<(), dmv::common::DmvError> {
@@ -37,7 +39,10 @@ fn main() -> Result<(), dmv::common::DmvError> {
         session.update(&[bump(i)])?;
     }
     let old_master = cluster.master(0).id();
-    println!("phase 1: 16 commits on master {old_master}, version {}", cluster.master(0).dbversion());
+    println!(
+        "phase 1: 16 commits on master {old_master}, version {}",
+        cluster.master(0).dbversion()
+    );
 
     println!("\n!!! killing master {old_master}");
     cluster.kill_replica(old_master);
@@ -69,7 +74,8 @@ fn main() -> Result<(), dmv::common::DmvError> {
     // The rejoined node serves current data.
     let tag = cluster.master(0).dbversion();
     let node = cluster.replica(old_master).expect("rejoined");
-    let rs = node.execute_read(&[Query::Select(Select::by_pk(TableId(0), vec![31.into()]))], &tag)?;
+    let rs =
+        node.execute_read(&[Query::Select(Select::by_pk(TableId(0), vec![31.into()]))], &tag)?;
     println!("rejoined node reads counter 31 = {}", rs[0].rows[0][1]);
 
     cluster.shutdown();

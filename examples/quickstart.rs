@@ -8,7 +8,9 @@
 
 use dmv::common::ids::TableId;
 use dmv::core::cluster::{ClusterSpec, DmvCluster};
-use dmv::sql::{Access, ColType, Column, Expr, IndexDef, Query, Schema, Select, SetExpr, TableSchema};
+use dmv::sql::{
+    Access, ColType, Column, Expr, IndexDef, Query, Schema, Select, SetExpr, TableSchema,
+};
 
 fn main() -> Result<(), dmv::common::DmvError> {
     // 1. A schema: one table with a primary key and a secondary index.

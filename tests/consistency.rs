@@ -4,7 +4,9 @@
 
 use dmv::common::ids::TableId;
 use dmv::core::cluster::{ClusterSpec, DmvCluster};
-use dmv::sql::{Access, ColType, Column, Expr, IndexDef, Query, Schema, Select, SetExpr, Value, TableSchema};
+use dmv::sql::{
+    Access, ColType, Column, Expr, IndexDef, Query, Schema, Select, SetExpr, TableSchema, Value,
+};
 use proptest::prelude::*;
 use rand::Rng as _;
 use std::sync::Arc;

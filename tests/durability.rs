@@ -5,7 +5,9 @@
 use dmv::common::ids::TableId;
 use dmv::core::cluster::{ClusterSpec, DmvCluster};
 use dmv::ondisk::{DiskDb, DiskDbOptions};
-use dmv::sql::{Access, ColType, Column, Expr, IndexDef, Query, Schema, Select, SetExpr, TableSchema, Value};
+use dmv::sql::{
+    Access, ColType, Column, Expr, IndexDef, Query, Schema, Select, SetExpr, TableSchema, Value,
+};
 use std::sync::Arc;
 
 fn schema() -> Schema {
@@ -56,9 +58,8 @@ fn backends_replicate_committed_updates_in_order() {
     for (i, b) in cluster.backends().iter().enumerate() {
         let rs = b.execute_txn(&[Query::Select(Select::scan(TableId(0)))]).unwrap();
         assert_eq!(rs[0].rows.len(), 20, "backend {i}");
-        let r5 = b
-            .execute_txn(&[Query::Select(Select::by_pk(TableId(0), vec![5.into()]))])
-            .unwrap();
+        let r5 =
+            b.execute_txn(&[Query::Select(Select::by_pk(TableId(0), vec![5.into()]))]).unwrap();
         assert_eq!(r5[0].rows[0][2], Value::Int(51), "backend {i} must apply in order");
     }
 }
@@ -91,9 +92,8 @@ fn full_tier_loss_rebuilds_from_backend() {
     cluster.shutdown();
 
     // "All in-memory replicas fail": rebuild a new tier from the backend.
-    let dump = cluster.backends()[0]
-        .execute_txn(&[Query::Select(Select::scan(TableId(0)))])
-        .unwrap();
+    let dump =
+        cluster.backends()[0].execute_txn(&[Query::Select(Select::scan(TableId(0)))]).unwrap();
     let cluster2 = start(0);
     // cluster2 was finished empty; bootstrap a third cluster with data.
     drop(cluster2);
@@ -102,10 +102,7 @@ fn full_tier_loss_rebuilds_from_backend() {
     let rebuilt = DmvCluster::start(spec);
     rebuilt.load_rows(TableId(0), dump[0].rows.clone()).unwrap();
     rebuilt.finish_load();
-    let rs = rebuilt
-        .session()
-        .read_retry(&[Query::Select(Select::scan(TableId(0)))], 10)
-        .unwrap();
+    let rs = rebuilt.session().read_retry(&[Query::Select(Select::scan(TableId(0)))], 10).unwrap();
     assert_eq!(rs[0].rows.len(), 25);
     rebuilt.shutdown();
 }

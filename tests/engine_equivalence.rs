@@ -7,7 +7,9 @@ use dmv::common::ids::TableId;
 use dmv::memdb::{MemDb, MemDbOptions};
 use dmv::ondisk::{DiskDb, DiskDbOptions};
 use dmv::sql::exec::execute;
-use dmv::sql::{Access, ColType, Column, Expr, IndexDef, Query, Schema, Select, SetExpr, TableSchema};
+use dmv::sql::{
+    Access, ColType, Column, Expr, IndexDef, Query, Schema, Select, SetExpr, TableSchema,
+};
 use proptest::prelude::*;
 
 fn schema() -> Schema {
@@ -56,11 +58,9 @@ fn to_query(op: &Op) -> Query {
             filter: Some(Expr::eq(0, *k)),
             set: vec![(1, SetExpr::Value((*g).into()))],
         },
-        Op::Delete(k) => Query::Delete {
-            table: TableId(0),
-            access: Access::Auto,
-            filter: Some(Expr::eq(0, *k)),
-        },
+        Op::Delete(k) => {
+            Query::Delete { table: TableId(0), access: Access::Auto, filter: Some(Expr::eq(0, *k)) }
+        }
         Op::PointRead(k) => Query::Select(Select::by_pk(TableId(0), vec![(*k).into()])),
         Op::GroupRead(g) => Query::Select(
             Select::scan(TableId(0))

@@ -1,0 +1,327 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `black_box`, the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock harness: per sample, run the body in a timed batch and
+//! report min/median/mean of per-iteration times.
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (shim treats all the same).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Top-level harness; holds the measurement configuration.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self, f);
+        report(id, &stats);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self.criterion, f);
+        report(&format!("{}/{}", self.name, id), &stats);
+        self
+    }
+
+    /// Group-local override of measurement time.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Group-local override of sample size.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Ends the group (separator line in the report).
+    pub fn finish(self) {
+        eprintln!();
+    }
+}
+
+/// Passed to each benchmark closure; times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back for this sample's iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time and the
+    /// drop of routine outputs are excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let inputs: Vec<I> = (0..self.iters).map(|_| setup()).collect();
+        let mut outputs: Vec<O> = Vec::with_capacity(inputs.len());
+        let start = Instant::now();
+        for input in inputs {
+            outputs.push(black_box(routine(input)));
+        }
+        self.elapsed = start.elapsed();
+        drop(outputs);
+    }
+}
+
+struct Stats {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    iters_per_sample: u64,
+}
+
+fn run_bench<F>(config: &Criterion, mut f: F) -> Stats
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run single-iteration samples until the warm-up budget is
+    // spent, measuring the routine's rough cost as we go.
+    let warm_start = Instant::now();
+    let mut rough = Duration::from_nanos(50);
+    let mut warm_runs = 0u32;
+    while warm_start.elapsed() < config.warm_up_time || warm_runs < 3 {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed > Duration::ZERO {
+            rough = if warm_runs == 0 { b.elapsed } else { (rough + b.elapsed) / 2 };
+        }
+        warm_runs += 1;
+        if warm_runs >= 10_000 {
+            break;
+        }
+    }
+
+    // Pick an iteration count so the samples fill measurement_time.
+    let per_sample_budget = config.measurement_time / config.sample_size as u32;
+    let iters = (per_sample_budget.as_nanos() / rough.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter.push(b.elapsed / iters as u32);
+    }
+    per_iter.sort_unstable();
+
+    let sum: Duration = per_iter.iter().sum();
+    Stats {
+        min: per_iter[0],
+        median: per_iter[per_iter.len() / 2],
+        mean: sum / per_iter.len() as u32,
+        iters_per_sample: iters,
+    }
+}
+
+fn report(id: &str, stats: &Stats) {
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{:<56} min {:>12}  median {:>12}  mean {:>12}  ({} iters/sample)",
+        id,
+        fmt_duration(stats.min),
+        fmt_duration(stats.median),
+        fmt_duration(stats.mean),
+        stats.iters_per_sample,
+    );
+    eprintln!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: either the configured form
+/// (`name = g; config = ...; targets = a, b`) or the plain
+/// `criterion_group!(g, a, b)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running each group declared with [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        fast_config().bench_function("shim/iter", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_setup_run() {
+        let mut c = fast_config();
+        let mut group = c.benchmark_group("shim");
+        let mut total = 0usize;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| {
+                    total += v.len();
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(512)), "512 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+
+    mod macros {
+        use super::super::*;
+
+        fn target(c: &mut Criterion) {
+            c.bench_function("macro/t", |b| b.iter(|| black_box(1 + 1)));
+        }
+
+        criterion_group!(
+            name = benches;
+            config = Criterion::default()
+                .measurement_time(Duration::from_millis(10))
+                .warm_up_time(Duration::from_millis(1))
+                .sample_size(2);
+            targets = target
+        );
+
+        #[test]
+        fn group_macro_produces_runner() {
+            benches();
+        }
+    }
+}

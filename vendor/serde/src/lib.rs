@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace tags value types with `#[derive(Serialize,
+//! Deserialize)]` for future wire formats but performs no serde-based
+//! serialization yet, so the shim only needs the trait names (for
+//! bounds) and the derive macros (re-exported no-ops).
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+// The derive macros share the trait names via the macro namespace,
+// exactly as real serde's `derive` feature does.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op derive macros for the vendored `serde` shim.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on value types for
+//! future wire formats but never serializes through serde today, so the
+//! offline shim accepts the derives and emits nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
