@@ -1,0 +1,175 @@
+//! # dmv-check
+//!
+//! A miniature [loom]-style concurrency model checker plus the shim
+//! primitives the DMV hot path is written against.
+//!
+//! The replication hot path (version vectors, applier shards, scheduler
+//! routing counters, the commit→broadcast lock chain) is built from
+//! lock-free atomics and fine-grained locks whose correctness depends on
+//! the *ordering* of version-metadata reads and writes — exactly the
+//! class of property stress tests only probabilistically cover (PR 1
+//! shipped with a torn-`snapshot` bug that two million stress iterations
+//! can miss but a 3-step interleaving exposes). This crate makes those
+//! orderings checkable:
+//!
+//! * **Shim types** — [`sync::Mutex`], [`sync::Condvar`], [`sync::RwLock`],
+//!   [`sync::atomic`], [`thread::spawn`]. Under a normal build they are
+//!   zero-cost re-exports of `std::sync::atomic` / `parking_lot` — the
+//!   exact types the code used before. Under `RUSTFLAGS="--cfg dmv_check"`
+//!   they route every operation through a controlled scheduler.
+//! * **A model checker** — [`model`] / [`model_result`] run a closure
+//!   under bounded-exhaustive interleaving exploration: depth-first
+//!   search over every scheduling decision (with a CHESS-style
+//!   preemption bound) and an acquire/release/seqcst-aware value oracle
+//!   that lets non-SeqCst loads return any coherence-permitted stale
+//!   value. Assertion failures and deadlocks are reported together with
+//!   the exact schedule that produced them, and the failing schedule is
+//!   replayed deterministically on every run.
+//!
+//! # Semantics in checked mode
+//!
+//! * One thread runs at a time; every atomic access, lock operation,
+//!   condvar operation, spawn and join is a *schedule point* where the
+//!   explorer may switch threads (subject to the preemption bound).
+//! * `Condvar::wait_until` never times out: a waiter that is never
+//!   notified blocks forever, which the checker reports as a deadlock —
+//!   so "no lost wakeup" properties fall out of deadlock detection.
+//! * `SeqCst` operations read the latest value in modification order;
+//!   `Acquire`/`Relaxed` loads may read any store not overwritten by a
+//!   store that happens-before the loading thread (bounded by
+//!   [`ModelOptions::oracle_window`]); acquire loads of release stores
+//!   merge vector clocks.
+//! * A panic in any modeled thread aborts the execution and fails the
+//!   model with the offending schedule.
+//!
+//! [loom]: https://github.com/tokio-rs/loom
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::fmt;
+
+#[cfg(dmv_check)]
+mod oracle;
+#[cfg(dmv_check)]
+mod sched;
+
+pub mod sync;
+pub mod thread;
+
+/// Exploration bounds for [`model_with`] / [`model_result`].
+#[derive(Debug, Clone, Copy)]
+pub struct ModelOptions {
+    /// CHESS-style preemption bound: the maximum number of times one
+    /// execution may switch away from a thread that could have kept
+    /// running. Most memory-model bugs need ≤ 2 preemptions.
+    pub preemptions: usize,
+    /// Hard cap on explored executions; exploration stops (reporting a
+    /// non-exhaustive pass) once reached.
+    pub max_executions: u64,
+    /// How many trailing stores per atomic a non-SeqCst load may choose
+    /// from (value-oracle branching bound).
+    pub oracle_window: usize,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions { preemptions: 2, max_executions: 100_000, oracle_window: 3 }
+    }
+}
+
+/// A model-checking failure: what went wrong and the schedule (sequence
+/// of explorer choices) that reproduces it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Panic message or deadlock description from the failing execution.
+    pub message: String,
+    /// The choice sequence that deterministically reproduces the bug.
+    pub schedule: Vec<usize>,
+    /// Executions explored before the bug was found (1-based).
+    pub executions: u64,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "model check failed after {} execution(s): {}\n  schedule: {:?}",
+            self.executions, self.message, self.schedule
+        )
+    }
+}
+
+/// A completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Executions explored.
+    pub executions: u64,
+    /// True if the bounded search space was fully explored (as opposed
+    /// to stopping at [`ModelOptions::max_executions`]).
+    pub exhausted: bool,
+}
+
+#[cfg(dmv_check)]
+pub use sched::model_result;
+
+/// Runs `f` under the model checker (checked builds) or once, directly
+/// (normal builds), panicking with the failing schedule if a bug is
+/// found.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(ModelOptions::default(), f);
+}
+
+/// [`model`] with explicit exploration bounds.
+///
+/// # Panics
+///
+/// Panics with the [`Failure`] report if any explored execution panics
+/// or deadlocks.
+pub fn model_with<F>(opts: ModelOptions, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Err(fail) = model_result(opts, f) {
+        panic!("{fail}");
+    }
+}
+
+/// Explores `f` and returns the first failure instead of panicking —
+/// the entry point for tests asserting that a known-bad implementation
+/// *is* caught.
+///
+/// # Errors
+///
+/// Returns the [`Failure`] (message + reproducing schedule) of the
+/// first execution that panics or deadlocks.
+#[cfg(not(dmv_check))]
+pub fn model_result<F>(_opts: ModelOptions, f: F) -> Result<Report, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    // Passthrough: a single direct run; real exploration needs
+    // RUSTFLAGS="--cfg dmv_check".
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f)) {
+        Ok(()) => Ok(Report { executions: 1, exhausted: false }),
+        Err(payload) => Err(Failure {
+            message: panic_message(payload.as_ref()),
+            schedule: Vec::new(),
+            executions: 1,
+        }),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}

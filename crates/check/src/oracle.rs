@@ -1,0 +1,164 @@
+//! The memory-model value oracle: vector clocks plus per-atomic store
+//! histories, deciding which values a load is allowed to observe.
+//!
+//! The model is a pragmatic subset of C11:
+//!
+//! * every atomic keeps its full **modification order** (the sequence of
+//!   stores, including read-modify-writes);
+//! * `SeqCst` operations and RMWs always observe the latest store — a
+//!   sound simplification that treats the SC order as the modification
+//!   order (it under-approximates some exotic mixed-SC behaviors but
+//!   never invents impossible ones for the SeqCst-dominant hot path);
+//! * `Acquire`/`Relaxed` loads may observe **any** store newer than both
+//!   (a) the newest store that happens-before the loading thread and
+//!   (b) the thread's own coherence floor (the last store it observed on
+//!   that atomic), bounded to a trailing window to keep branching
+//!   finite. Each admissible value is a distinct exploration branch.
+//! * acquire-or-stronger loads that observe a release-or-stronger store
+//!   join the store's vector clock into the loading thread's clock
+//!   (release/acquire synchronizes-with).
+
+use std::sync::atomic::Ordering;
+
+/// Thread index within one execution.
+pub(crate) type Tid = usize;
+
+/// A classic vector clock over thread ids.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    pub(crate) fn get(&self, t: Tid) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Increments this thread's own component and returns the new value.
+    pub(crate) fn bump(&mut self, t: Tid) -> u32 {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+        self.0[t]
+    }
+
+    /// Component-wise maximum (the happens-before join).
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+}
+
+/// One store in an atomic's modification order.
+#[derive(Clone, Debug)]
+pub(crate) struct StoreEv {
+    pub(crate) val: u64,
+    /// The storing thread's clock at the store (joined into acquirers
+    /// when `release` holds).
+    clock: VClock,
+    /// True for `Release`/`AcqRel`/`SeqCst` stores.
+    release: bool,
+    /// Storing thread; `None` for the initial value.
+    by: Option<Tid>,
+    /// The storing thread's own clock component at the store, used for
+    /// happens-before tests against a later reader.
+    stamp: u32,
+}
+
+/// Per-atomic model state: modification order plus each thread's
+/// coherence floor (index of the newest store it has observed).
+#[derive(Debug)]
+pub(crate) struct AtomicState {
+    history: Vec<StoreEv>,
+    seen: Vec<usize>,
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl AtomicState {
+    pub(crate) fn new(initial: u64) -> Self {
+        AtomicState {
+            history: vec![StoreEv {
+                val: initial,
+                clock: VClock::default(),
+                release: false,
+                by: None,
+                stamp: 0,
+            }],
+            seen: Vec::new(),
+        }
+    }
+
+    fn floor_of(&self, t: Tid) -> usize {
+        self.seen.get(t).copied().unwrap_or(0)
+    }
+
+    fn note_seen(&mut self, t: Tid, idx: usize) {
+        if self.seen.len() <= t {
+            self.seen.resize(t + 1, 0);
+        }
+        self.seen[t] = self.seen[t].max(idx);
+    }
+
+    /// Indices of the stores a load by `t` (with clock `clock`) may
+    /// observe, oldest first. Never empty: the latest store is always
+    /// admissible.
+    pub(crate) fn admissible(&self, t: Tid, clock: &VClock, window: usize) -> Vec<usize> {
+        let len = self.history.len();
+        // Newest store that happens-before the reader: everything older
+        // is coherence-forbidden.
+        let mut hb_floor = 0;
+        for (i, ev) in self.history.iter().enumerate() {
+            let hb = match ev.by {
+                None => true,
+                Some(w) => ev.stamp <= clock.get(w),
+            };
+            if hb {
+                hb_floor = i;
+            }
+        }
+        let window_floor = len.saturating_sub(window.max(1));
+        let floor = hb_floor.max(self.floor_of(t)).max(window_floor);
+        (floor..len).collect()
+    }
+
+    /// Completes a load of store `idx`: advances the coherence floor and
+    /// (for acquire loads of release stores) returns the clock to join.
+    pub(crate) fn observe(&mut self, t: Tid, idx: usize, ord: Ordering) -> (u64, Option<VClock>) {
+        self.note_seen(t, idx);
+        let ev = &self.history[idx];
+        let sync = if ev.release && is_acquire(ord) { Some(ev.clock.clone()) } else { None };
+        (ev.val, sync)
+    }
+
+    /// Index of the latest store (what SeqCst loads and RMWs observe).
+    pub(crate) fn latest(&self) -> usize {
+        self.history.len() - 1
+    }
+
+    /// Appends a store by `t`; `clock` must already carry the thread's
+    /// bumped component (`stamp`).
+    pub(crate) fn push_store(
+        &mut self,
+        t: Tid,
+        val: u64,
+        clock: VClock,
+        stamp: u32,
+        ord: Ordering,
+    ) {
+        self.history.push(StoreEv { val, clock, release: is_release(ord), by: Some(t), stamp });
+        let idx = self.latest();
+        self.note_seen(t, idx);
+    }
+}

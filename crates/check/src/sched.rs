@@ -1,0 +1,694 @@
+//! The controlled scheduler and DFS explorer.
+//!
+//! One execution = one run of the user closure with every shim operation
+//! routed through [`Exec`]: exactly one modeled thread runs at a time,
+//! and every operation is a *schedule point* where the explorer decides
+//! which thread runs next. Each decision is recorded as a [`Choice`]
+//! `(chosen, n)`; after an execution completes, the explorer backtracks
+//! to the last choice with an unexplored alternative and replays the
+//! prefix deterministically — classic stateless DFS with a CHESS-style
+//! preemption bound.
+//!
+//! Modeled threads are real OS threads, but they hand the execution
+//! token around through one `parking_lot` mutex/condvar pair, so there
+//! is never real parallelism (and no unsafety) inside the model.
+//!
+//! Aborts (assertion panic, deadlock, explicit failure) are propagated
+//! to blocked threads by waking them with the abort flag set; they
+//! unwind with the [`Abort`] sentinel panic, which the per-thread
+//! wrapper swallows. Drop-context operations (guard release) become
+//! silent no-ops during an abort so unwinding never double-panics.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar as PlCondvar, Mutex as PlMutex};
+
+use crate::oracle::{AtomicState, Tid, VClock};
+use crate::{panic_message, Failure, ModelOptions, Report};
+
+/// Sentinel panic payload used to unwind modeled threads on abort.
+pub(crate) struct Abort;
+
+/// Monotonic id distinguishing executions, so shim objects can lazily
+/// (re-)register themselves on first use within each execution.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Exec>, Tid)>> = const { RefCell::new(None) };
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The `(exec, tid)` of the calling thread, if it is a modeled thread in
+/// an active execution.
+pub(crate) fn current() -> Option<(Arc<Exec>, Tid)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Marks the calling OS thread as modeled thread `tid` of `exec`.
+pub(crate) fn enter_model(exec: &Arc<Exec>, tid: Tid) {
+    IN_MODEL.with(|c| c.set(true));
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(exec), tid)));
+}
+
+pub(crate) fn leave_model() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Suppress panic output from modeled threads: failures are captured in
+/// the [`Failure`] report, and sentinel [`Abort`] unwinds are routine.
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if IN_MODEL.with(Cell::get) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// One scheduling (or value-oracle) decision: alternative `chosen` of
+/// `n` was taken.
+#[derive(Debug, Clone, Copy)]
+struct Choice {
+    chosen: usize,
+    n: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    /// Schedulable (or currently running).
+    Runnable,
+    /// Waiting to acquire a mutex/rwlock.
+    Lock(usize),
+    /// In `Condvar::wait`: parked on `cv`, will reacquire `lock` once
+    /// notified.
+    Cv {
+        cv: usize,
+        lock: usize,
+        notified: bool,
+    },
+    /// In `JoinHandle::join` on the given thread.
+    Join(Tid),
+    Finished,
+}
+
+#[derive(Debug)]
+struct TState {
+    blocked: Blocked,
+    clock: VClock,
+}
+
+#[derive(Debug)]
+struct LockState {
+    owner: Option<Tid>,
+    /// Release clock: joined into each subsequent acquirer.
+    clock: VClock,
+}
+
+struct Inner {
+    running: Option<Tid>,
+    threads: Vec<TState>,
+    locks: Vec<LockState>,
+    condvars: usize,
+    atomics: Vec<AtomicState>,
+    /// Choice log: a replayed prefix followed by fresh decisions.
+    schedule: Vec<Choice>,
+    pos: usize,
+    preemptions: usize,
+    abort: Option<String>,
+    finished: usize,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Exec {
+    generation: u64,
+    opts: ModelOptions,
+    m: PlMutex<Inner>,
+    cv: PlCondvar,
+}
+
+/// Lazy per-execution registration cell embedded in each shim object.
+///
+/// Shim objects (atomics, mutexes, condvars) are created by the code
+/// under test, often before any execution starts, and may be reused
+/// across executions (e.g. a `static`). On first use inside an
+/// execution the object registers itself and caches the id keyed by the
+/// execution generation; first-use order is deterministic under replay,
+/// so ids are stable across the DFS.
+#[derive(Default)]
+pub(crate) struct Registration {
+    cell: PlMutex<(u64, usize)>,
+}
+
+impl Registration {
+    pub(crate) const fn new() -> Self {
+        Registration { cell: PlMutex::new((0, 0)) }
+    }
+
+    pub(crate) fn id_in(&self, exec: &Exec, register: impl FnOnce() -> usize) -> usize {
+        let mut g = self.cell.lock();
+        if g.0 != exec.generation {
+            *g = (exec.generation, register());
+        }
+        g.1
+    }
+}
+
+impl std::fmt::Debug for Registration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Registration")
+    }
+}
+
+fn schedulable(inner: &Inner, t: Tid) -> bool {
+    match inner.threads[t].blocked {
+        Blocked::Runnable => true,
+        Blocked::Lock(l) => inner.locks[l].owner.is_none(),
+        Blocked::Cv { lock, notified, .. } => notified && inner.locks[lock].owner.is_none(),
+        Blocked::Join(target) => inner.threads[target].blocked == Blocked::Finished,
+        Blocked::Finished => false,
+    }
+}
+
+impl Exec {
+    fn new(opts: ModelOptions, prefix: Vec<Choice>) -> Self {
+        Exec {
+            generation: GENERATION.fetch_add(1, Ordering::SeqCst),
+            opts,
+            m: PlMutex::new(Inner {
+                running: Some(0),
+                threads: vec![TState { blocked: Blocked::Runnable, clock: VClock::default() }],
+                locks: Vec::new(),
+                condvars: 0,
+                atomics: Vec::new(),
+                schedule: prefix,
+                pos: 0,
+                preemptions: 0,
+                abort: None,
+                finished: 0,
+                os_handles: Vec::new(),
+            }),
+            cv: PlCondvar::new(),
+        }
+    }
+
+    /// Takes (or replays) a decision among `n` alternatives.
+    fn choose(&self, inner: &mut Inner, n: usize) -> usize {
+        if inner.pos < inner.schedule.len() {
+            let c = inner.schedule[inner.pos];
+            inner.pos += 1;
+            if c.chosen < n {
+                return c.chosen;
+            }
+            // The program took a different shape on replay — it must be
+            // branching on something outside the model (time, OS
+            // randomness, map iteration order).
+            self.set_abort(
+                inner,
+                format!(
+                    "schedule replay diverged at step {}: recorded choice {}/{} but only {n} \
+                     alternatives exist; the modeled closure is nondeterministic",
+                    inner.pos - 1,
+                    c.chosen,
+                    c.n
+                ),
+            );
+            return 0;
+        }
+        inner.schedule.push(Choice { chosen: 0, n });
+        inner.pos += 1;
+        0
+    }
+
+    fn set_abort(&self, inner: &mut Inner, message: String) {
+        if inner.abort.is_none() {
+            inner.abort = Some(message);
+        }
+        self.cv.notify_all();
+    }
+
+    fn describe_threads(inner: &Inner) -> String {
+        let mut s = String::new();
+        for (t, st) in inner.threads.iter().enumerate() {
+            use std::fmt::Write as _;
+            let _ = write!(s, " t{t}={:?}", st.blocked);
+        }
+        s
+    }
+
+    /// Core schedule point: pick who runs next. `me` is the thread
+    /// giving up (or offering to give up) the token.
+    fn pick_next(&self, inner: &mut Inner, me: Tid) {
+        if inner.abort.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        let mut cands: Vec<Tid> = Vec::new();
+        let me_runnable = schedulable(inner, me);
+        if me_runnable {
+            cands.push(me);
+        }
+        for t in 0..inner.threads.len() {
+            if t != me && schedulable(inner, t) {
+                cands.push(t);
+            }
+        }
+        if cands.is_empty() {
+            if inner.finished == inner.threads.len() {
+                inner.running = None;
+            } else {
+                let msg =
+                    format!("deadlock: no schedulable thread;{}", Self::describe_threads(inner));
+                self.set_abort(inner, msg);
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = if cands.len() == 1 {
+            cands[0]
+        } else if me_runnable && inner.preemptions >= self.opts.preemptions {
+            // Preemption budget spent: keep running without recording a
+            // choice (replay recomputes this forced decision).
+            me
+        } else {
+            cands[self.choose(inner, cands.len())]
+        };
+        if inner.abort.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        if me_runnable && chosen != me {
+            inner.preemptions += 1;
+        }
+        inner.threads[chosen].blocked = Blocked::Runnable;
+        inner.running = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until this thread holds the execution token. Returns true
+    /// if the execution was aborted instead.
+    fn wait_for_token(&self, inner: &mut parking_lot::MutexGuard<'_, Inner>, me: Tid) -> bool {
+        loop {
+            if inner.abort.is_some() {
+                return true;
+            }
+            if inner.running == Some(me) {
+                return false;
+            }
+            self.cv.wait(inner);
+        }
+    }
+
+    /// Standard pre-operation schedule point; sentinel-panics on abort.
+    fn op_point(&self, inner: &mut parking_lot::MutexGuard<'_, Inner>, me: Tid) {
+        self.pick_next(inner, me);
+        if self.wait_for_token(inner, me) {
+            bail();
+        }
+    }
+
+    fn check_abort(&self, inner: &Inner) {
+        if inner.abort.is_some() {
+            bail();
+        }
+    }
+
+    // ---- object registration (lazy, deterministic under replay) ----
+
+    pub(crate) fn register_lock(&self) -> usize {
+        let mut g = self.m.lock();
+        g.locks.push(LockState { owner: None, clock: VClock::default() });
+        g.locks.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut g = self.m.lock();
+        g.condvars += 1;
+        g.condvars - 1
+    }
+
+    pub(crate) fn register_atomic(&self, initial: u64) -> usize {
+        let mut g = self.m.lock();
+        g.atomics.push(AtomicState::new(initial));
+        g.atomics.len() - 1
+    }
+
+    // ---- locks ----
+
+    pub(crate) fn lock_acquire(&self, me: Tid, lock: usize) {
+        let mut g = self.m.lock();
+        self.check_abort(&g);
+        self.op_point(&mut g, me);
+        while g.locks[lock].owner.is_some() {
+            g.threads[me].blocked = Blocked::Lock(lock);
+            self.pick_next(&mut g, me);
+            if self.wait_for_token(&mut g, me) {
+                bail();
+            }
+        }
+        g.locks[lock].owner = Some(me);
+        let release_clock = g.locks[lock].clock.clone();
+        g.threads[me].clock.join(&release_clock);
+    }
+
+    /// Returns false if the lock was not registered to this execution's
+    /// generation (possible when a guard outlives the execution).
+    pub(crate) fn try_lock_acquire(&self, me: Tid, lock: usize) -> bool {
+        let mut g = self.m.lock();
+        self.check_abort(&g);
+        self.op_point(&mut g, me);
+        if g.locks[lock].owner.is_some() {
+            return false;
+        }
+        g.locks[lock].owner = Some(me);
+        let release_clock = g.locks[lock].clock.clone();
+        g.threads[me].clock.join(&release_clock);
+        true
+    }
+
+    /// `in_drop`: guard-release runs during unwinding, where a second
+    /// panic would abort the process — stay silent once aborted.
+    pub(crate) fn lock_release(&self, me: Tid, lock: usize, in_drop: bool) {
+        let mut g = self.m.lock();
+        if g.abort.is_some() {
+            if in_drop {
+                return;
+            }
+            bail();
+        }
+        if g.locks[lock].owner != Some(me) {
+            // Guard moved across threads or released twice — a model
+            // usage error; report rather than corrupt state.
+            let msg =
+                format!("lock {lock} released by t{me} but owned by {:?}", g.locks[lock].owner);
+            self.set_abort(&mut g, msg);
+            if in_drop {
+                return;
+            }
+            bail();
+        }
+        g.locks[lock].owner = None;
+        let me_clock = g.threads[me].clock.clone();
+        g.locks[lock].clock.join(&me_clock);
+        // Releasing is itself a schedule point: a waiter may grab the
+        // lock before we run again.
+        self.pick_next(&mut g, me);
+        if self.wait_for_token(&mut g, me) && !in_drop {
+            bail();
+        }
+    }
+
+    // ---- condvars ----
+
+    pub(crate) fn cv_wait(&self, me: Tid, cv: usize, lock: usize) {
+        let mut g = self.m.lock();
+        self.check_abort(&g);
+        // Atomically release the lock and park.
+        if g.locks[lock].owner != Some(me) {
+            let msg = format!("Condvar::wait by t{me} without holding lock {lock}");
+            self.set_abort(&mut g, msg);
+            bail();
+        }
+        g.locks[lock].owner = None;
+        let me_clock = g.threads[me].clock.clone();
+        g.locks[lock].clock.join(&me_clock);
+        g.threads[me].blocked = Blocked::Cv { cv, lock, notified: false };
+        self.pick_next(&mut g, me);
+        if self.wait_for_token(&mut g, me) {
+            bail();
+        }
+        // We were notified, scheduled, and the lock was free: reacquire.
+        g.locks[lock].owner = Some(me);
+        let release_clock = g.locks[lock].clock.clone();
+        g.threads[me].clock.join(&release_clock);
+    }
+
+    pub(crate) fn cv_notify(&self, me: Tid, cv: usize, all: bool) {
+        let mut g = self.m.lock();
+        self.check_abort(&g);
+        self.op_point(&mut g, me);
+        let waiters: Vec<Tid> = (0..g.threads.len())
+            .filter(|&t| {
+                matches!(g.threads[t].blocked,
+                         Blocked::Cv { cv: c, notified, .. } if c == cv && !notified)
+            })
+            .collect();
+        if waiters.is_empty() {
+            return;
+        }
+        if all {
+            for &t in &waiters {
+                if let Blocked::Cv { notified, .. } = &mut g.threads[t].blocked {
+                    *notified = true;
+                }
+            }
+        } else {
+            let pick = if waiters.len() == 1 { 0 } else { self.choose(&mut g, waiters.len()) };
+            self.check_abort(&g);
+            if let Blocked::Cv { notified, .. } = &mut g.threads[waiters[pick]].blocked {
+                *notified = true;
+            }
+        }
+    }
+
+    // ---- atomics ----
+
+    pub(crate) fn atomic_load(&self, me: Tid, id: usize, ord: Ordering) -> u64 {
+        let mut g = self.m.lock();
+        self.check_abort(&g);
+        self.op_point(&mut g, me);
+        let idx = if matches!(ord, Ordering::SeqCst) {
+            g.atomics[id].latest()
+        } else {
+            let clock = g.threads[me].clock.clone();
+            let cands = g.atomics[id].admissible(me, &clock, self.opts.oracle_window);
+            let pick = if cands.len() == 1 { 0 } else { self.choose(&mut g, cands.len()) };
+            self.check_abort(&g);
+            cands[pick]
+        };
+        let (val, sync) = g.atomics[id].observe(me, idx, ord);
+        if let Some(clock) = sync {
+            g.threads[me].clock.join(&clock);
+        }
+        val
+    }
+
+    pub(crate) fn atomic_store(&self, me: Tid, id: usize, val: u64, ord: Ordering) {
+        let mut g = self.m.lock();
+        self.check_abort(&g);
+        self.op_point(&mut g, me);
+        let stamp = g.threads[me].clock.bump(me);
+        let clock = g.threads[me].clock.clone();
+        g.atomics[id].push_store(me, val, clock, stamp, ord);
+    }
+
+    /// Read-modify-write: observes the latest store (atomicity), applies
+    /// `f`, appends the result; returns the previous value.
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: Tid,
+        id: usize,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let mut g = self.m.lock();
+        self.check_abort(&g);
+        self.op_point(&mut g, me);
+        let idx = g.atomics[id].latest();
+        let (prev, sync) = g.atomics[id].observe(me, idx, ord);
+        if let Some(clock) = sync {
+            g.threads[me].clock.join(&clock);
+        }
+        let stamp = g.threads[me].clock.bump(me);
+        let clock = g.threads[me].clock.clone();
+        g.atomics[id].push_store(me, f(prev), clock, stamp, ord);
+        prev
+    }
+
+    /// Compare-exchange; returns `Ok(prev)`/`Err(prev)` like std.
+    pub(crate) fn atomic_cas(
+        &self,
+        me: Tid,
+        id: usize,
+        expected: u64,
+        new: u64,
+        ord: Ordering,
+    ) -> Result<u64, u64> {
+        let mut g = self.m.lock();
+        self.check_abort(&g);
+        self.op_point(&mut g, me);
+        let idx = g.atomics[id].latest();
+        let (prev, sync) = g.atomics[id].observe(me, idx, ord);
+        if prev != expected {
+            return Err(prev);
+        }
+        if let Some(clock) = sync {
+            g.threads[me].clock.join(&clock);
+        }
+        let stamp = g.threads[me].clock.bump(me);
+        let clock = g.threads[me].clock.clone();
+        g.atomics[id].push_store(me, new, clock, stamp, ord);
+        Ok(prev)
+    }
+
+    // ---- threads ----
+
+    /// Registers a child thread (called from the parent, which pays a
+    /// schedule point); the child inherits the parent's clock
+    /// (spawn happens-before the child's first action).
+    pub(crate) fn spawn_thread(&self, parent: Tid) -> Tid {
+        let mut g = self.m.lock();
+        self.check_abort(&g);
+        self.op_point(&mut g, parent);
+        let clock = g.threads[parent].clock.clone();
+        g.threads.push(TState { blocked: Blocked::Runnable, clock });
+        g.threads.len() - 1
+    }
+
+    /// First call from a child OS thread: park until first scheduled.
+    pub(crate) fn thread_started(&self, me: Tid) {
+        let mut g = self.m.lock();
+        if self.wait_for_token(&mut g, me) {
+            bail();
+        }
+    }
+
+    pub(crate) fn thread_finished(&self, me: Tid, panic_msg: Option<String>) {
+        let mut g = self.m.lock();
+        g.threads[me].blocked = Blocked::Finished;
+        g.finished += 1;
+        if let Some(msg) = panic_msg {
+            self.set_abort(&mut g, msg);
+        }
+        if g.abort.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut g, me);
+    }
+
+    pub(crate) fn join_wait(&self, me: Tid, target: Tid) {
+        let mut g = self.m.lock();
+        self.check_abort(&g);
+        self.op_point(&mut g, me);
+        while g.threads[target].blocked != Blocked::Finished {
+            g.threads[me].blocked = Blocked::Join(target);
+            self.pick_next(&mut g, me);
+            if self.wait_for_token(&mut g, me) {
+                bail();
+            }
+        }
+        // Join edge: everything the child did happens-before us now.
+        let child_clock = g.threads[target].clock.clone();
+        g.threads[me].clock.join(&child_clock);
+    }
+
+    /// Explicit schedule point (`thread::yield_now`).
+    pub(crate) fn yield_point(&self, me: Tid) {
+        let mut g = self.m.lock();
+        self.check_abort(&g);
+        self.op_point(&mut g, me);
+    }
+
+    pub(crate) fn push_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.m.lock().os_handles.push(h);
+    }
+
+    // ---- explorer side ----
+
+    fn wait_all_finished(&self) {
+        let mut g = self.m.lock();
+        while g.finished < g.threads.len() {
+            self.cv.wait(&mut g);
+        }
+    }
+
+    fn finish(&self) -> (Vec<Choice>, Option<String>) {
+        let handles = std::mem::take(&mut self.m.lock().os_handles);
+        for h in handles {
+            // Wrapper threads catch all panics; join cannot fail.
+            let _ = h.join();
+        }
+        let mut g = self.m.lock();
+        (std::mem::take(&mut g.schedule), g.abort.take())
+    }
+}
+
+/// Unwind the calling modeled thread with the sentinel payload.
+fn bail() -> ! {
+    std::panic::panic_any(Abort)
+}
+
+/// Rewind to the deepest choice with an unexplored alternative.
+fn next_prefix(mut schedule: Vec<Choice>) -> Option<Vec<Choice>> {
+    while let Some(last) = schedule.last_mut() {
+        if last.chosen + 1 < last.n {
+            last.chosen += 1;
+            return Some(schedule);
+        }
+        schedule.pop();
+    }
+    None
+}
+
+/// Explores `f` and returns the first failure instead of panicking —
+/// the entry point for tests asserting that a known-bad implementation
+/// *is* caught.
+///
+/// # Errors
+///
+/// Returns the [`Failure`] (message + reproducing schedule) of the
+/// first execution that panics or deadlocks.
+pub fn model_result<F>(opts: ModelOptions, f: F) -> Result<Report, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let f = Arc::new(f);
+    let mut prefix: Vec<Choice> = Vec::new();
+    let mut executions: u64 = 0;
+    loop {
+        executions += 1;
+        let exec = Arc::new(Exec::new(opts, prefix));
+        let fm = Arc::clone(&f);
+        let em = Arc::clone(&exec);
+        let main = std::thread::Builder::new()
+            .name("dmv-check-main".into())
+            .spawn(move || {
+                enter_model(&em, 0);
+                let result = catch_unwind(AssertUnwindSafe(|| fm()));
+                leave_model();
+                let msg = match result {
+                    Ok(()) => None,
+                    Err(p) if p.is::<Abort>() => None,
+                    Err(p) => Some(panic_message(p.as_ref())),
+                };
+                em.thread_finished(0, msg);
+            })
+            .expect("spawn model main thread");
+        exec.wait_all_finished();
+        let _ = main.join();
+        let (schedule, abort) = exec.finish();
+        if let Some(message) = abort {
+            return Err(Failure {
+                message,
+                schedule: schedule.iter().map(|c| c.chosen).collect(),
+                executions,
+            });
+        }
+        if executions >= opts.max_executions {
+            return Ok(Report { executions, exhausted: false });
+        }
+        match next_prefix(schedule) {
+            Some(p) => prefix = p,
+            None => return Ok(Report { executions, exhausted: true }),
+        }
+    }
+}

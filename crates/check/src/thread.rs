@@ -1,0 +1,99 @@
+//! Shimmed thread spawn/join.
+//!
+//! Normal builds re-export `std::thread`'s spawn machinery. Under
+//! `--cfg dmv_check`, `spawn` inside an active model execution registers
+//! the child with the controlled scheduler: the child is a real OS
+//! thread, but it parks until the explorer schedules it, and `join` is a
+//! schedule point with a proper happens-before edge.
+
+#[cfg(not(dmv_check))]
+pub use std::thread::{spawn, yield_now, JoinHandle};
+
+#[cfg(dmv_check)]
+pub use checked::{spawn, yield_now, JoinHandle};
+
+#[cfg(dmv_check)]
+mod checked {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    use parking_lot::Mutex as PlMutex;
+
+    use crate::sched::{self, Exec};
+
+    enum Kind<T> {
+        /// Spawned outside any model execution: plain std thread.
+        Os(std::thread::JoinHandle<T>),
+        /// A modeled thread; its return value parks in `slot`.
+        Model { exec: Arc<Exec>, tid: usize, slot: Arc<PlMutex<Option<T>>> },
+    }
+
+    pub struct JoinHandle<T> {
+        kind: Kind<T>,
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let Some((exec, me)) = sched::current() else {
+            return JoinHandle { kind: Kind::Os(std::thread::spawn(f)) };
+        };
+        let tid = exec.spawn_thread(me);
+        let slot: Arc<PlMutex<Option<T>>> = Arc::new(PlMutex::new(None));
+        let (e2, s2) = (Arc::clone(&exec), Arc::clone(&slot));
+        let os = std::thread::Builder::new()
+            .name(format!("dmv-check-{tid}"))
+            .spawn(move || {
+                sched::enter_model(&e2, tid);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    e2.thread_started(tid);
+                    f()
+                }));
+                sched::leave_model();
+                let panic_msg = match result {
+                    Ok(v) => {
+                        *s2.lock() = Some(v);
+                        None
+                    }
+                    Err(p) if p.is::<sched::Abort>() => None,
+                    Err(p) => Some(crate::panic_message(p.as_ref())),
+                };
+                e2.thread_finished(tid, panic_msg);
+            })
+            .expect("spawn modeled os thread");
+        exec.push_os_handle(os);
+        JoinHandle { kind: Kind::Model { exec, tid, slot } }
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.kind {
+                Kind::Os(h) => h.join(),
+                Kind::Model { exec, tid, slot } => {
+                    let me = match sched::current() {
+                        Some((_, me)) => me,
+                        // Joining a modeled thread from outside the
+                        // model is not supported; the explorer joins
+                        // the OS handles itself.
+                        None => return Err(Box::new("join outside model execution")),
+                    };
+                    exec.join_wait(me, tid);
+                    match slot.lock().take() {
+                        Some(v) => Ok(v),
+                        None => Err(Box::new("modeled thread did not produce a value")),
+                    }
+                }
+            }
+        }
+    }
+
+    /// An explicit schedule point inside the model; a real yield outside.
+    pub fn yield_now() {
+        match sched::current() {
+            None => std::thread::yield_now(),
+            Some((e, me)) => e.yield_point(me),
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Litmus tests for the model checker itself: known-bad patterns must
+//! be caught, known-good patterns must pass exhaustively.
+//!
+//! Run with `RUSTFLAGS="--cfg dmv_check" cargo test -p dmv-check`.
+
+#![cfg(dmv_check)]
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use dmv_check::sync::atomic::{AtomicBool, AtomicU64};
+use dmv_check::sync::{Condvar, Mutex};
+use dmv_check::{model, model_result, thread, ModelOptions};
+
+/// Non-atomic read-modify-write (load; add; store) loses updates under
+/// the right interleaving; the checker must find it.
+#[test]
+fn finds_lost_update() {
+    let failure = model_result(ModelOptions::default(), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = counter.load(Ordering::SeqCst);
+        counter.store(v + 1, Ordering::SeqCst);
+        t.join().expect("join");
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    })
+    .expect_err("torn increment must be caught");
+    assert!(failure.message.contains("lost update"), "got: {}", failure.message);
+}
+
+/// The same counter protected by a mutex is correct; exploration must
+/// terminate having proved it within the bound.
+#[test]
+fn mutex_protects_counter() {
+    let report = model_result(ModelOptions::default(), || {
+        let counter = Arc::new(Mutex::new(0u64));
+        let c2 = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            *c2.lock() += 1;
+        });
+        *counter.lock() += 1;
+        t.join().expect("join");
+        assert_eq!(*counter.lock(), 2);
+    })
+    .expect("mutexed counter is correct");
+    assert!(report.exhausted, "bounded space should be fully explored");
+}
+
+/// Relaxed message passing is broken: the reader may observe the flag
+/// without the data. The value oracle must expose the stale read.
+#[test]
+fn finds_relaxed_message_passing_bug() {
+    let failure = model_result(ModelOptions::default(), || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale data behind relaxed flag");
+        }
+        t.join().expect("join");
+    })
+    .expect_err("relaxed message passing must be caught");
+    assert!(failure.message.contains("stale data"), "got: {}", failure.message);
+}
+
+/// Release/acquire message passing is correct: acquiring the flag must
+/// make the data visible.
+#[test]
+fn release_acquire_message_passing_is_clean() {
+    model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join().expect("join");
+    });
+}
+
+/// A waiter whose wakeup can be lost (signal before wait, no predicate
+/// re-check) deadlocks; the checker must report it.
+#[test]
+fn finds_lost_wakeup_as_deadlock() {
+    let failure = model_result(ModelOptions::default(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            *ready = true;
+            drop(ready);
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut guard = m.lock();
+        // BUG (deliberate): waiting without re-checking the predicate —
+        // if the notify already happened, this waits forever.
+        cv.wait(&mut guard);
+        assert!(*guard);
+        drop(guard);
+        t.join().expect("join");
+    })
+    .expect_err("lost wakeup must surface as deadlock");
+    assert!(failure.message.contains("deadlock"), "got: {}", failure.message);
+}
+
+/// The fixed version (predicate loop) passes exhaustively.
+#[test]
+fn predicate_loop_wait_is_clean() {
+    let report = model_result(ModelOptions::default(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut guard = m.lock();
+        while !*guard {
+            cv.wait(&mut guard);
+        }
+        drop(guard);
+        t.join().expect("join");
+    })
+    .expect("predicate loop is correct");
+    assert!(report.exhausted);
+}
+
+/// Failing schedules replay deterministically: the same options must
+/// yield the same schedule twice.
+#[test]
+fn failing_schedule_is_deterministic() {
+    let run = || {
+        model_result(ModelOptions::default(), || {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = Arc::clone(&x);
+            let t = thread::spawn(move || {
+                x2.store(1, Ordering::SeqCst);
+            });
+            assert_eq!(x.load(Ordering::SeqCst), 0, "saw the racing store");
+            t.join().expect("join");
+        })
+        .expect_err("race must be found")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.executions, b.executions);
+}

@@ -11,6 +11,26 @@
 
 use std::time::{Duration, Instant};
 
+/// The one sanctioned wall-clock instant type. Everything outside this
+/// module names `WallInstant` (or calls [`wall_now`]/[`wall_deadline`])
+/// instead of `std::time::Instant`, so the `cargo xtask lint`
+/// wall-clock rule makes ad-hoc timing sources grep-able and keeps
+/// simnet time-scaling the single authority on elapsed time.
+pub type WallInstant = Instant;
+
+/// Reads the wall clock. The only sanctioned `Instant::now()` outside
+/// tests; use sparingly — paper-time measurements go through
+/// [`SimClock`].
+pub fn wall_now() -> WallInstant {
+    Instant::now()
+}
+
+/// A wall-clock deadline `timeout` from now, for handing to blocking
+/// waits such as `Condvar::wait_until`.
+pub fn wall_deadline(timeout: Duration) -> WallInstant {
+    Instant::now() + timeout
+}
+
 /// Multiplier mapping paper time to wall time (`wall = paper * factor`).
 ///
 /// ```

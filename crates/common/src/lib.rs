@@ -21,6 +21,9 @@
 //! assert_eq!(v.get(TableId(2)), 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod clock;
 pub mod config;
 pub mod error;

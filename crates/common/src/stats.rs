@@ -21,22 +21,22 @@ impl Counter {
 
     /// Adds one; returns the previous value.
     pub fn inc(&self) -> u64 {
-        self.0.fetch_add(1, Ordering::Relaxed)
+        self.0.fetch_add(1, Ordering::Relaxed) // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
     }
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
     }
 
     /// Resets to zero, returning the old value.
     pub fn reset(&self) -> u64 {
-        self.0.swap(0, Ordering::Relaxed)
+        self.0.swap(0, Ordering::Relaxed) // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
     }
 }
 
@@ -90,15 +90,15 @@ impl LatencyHistogram {
     /// Records one duration.
     pub fn record(&self, d: Duration) {
         let us = d.as_micros() as u64;
-        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_micros.fetch_add(us, Ordering::Relaxed);
-        self.max_micros.fetch_max(us, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
+        self.count.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
+        self.sum_micros.fetch_add(us, Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
+        self.max_micros.fetch_max(us, Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
     }
 
     /// Mean of recorded samples, or zero if empty.
@@ -107,12 +107,12 @@ impl LatencyHistogram {
         if n == 0 {
             return Duration::ZERO;
         }
-        Duration::from_micros(self.sum_micros.load(Ordering::Relaxed) / n)
+        Duration::from_micros(self.sum_micros.load(Ordering::Relaxed) / n) // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
     }
 
     /// Maximum recorded sample.
     pub fn max(&self) -> Duration {
-        Duration::from_micros(self.max_micros.load(Ordering::Relaxed))
+        Duration::from_micros(self.max_micros.load(Ordering::Relaxed)) // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
     }
 
     /// Approximate `p`-th percentile (`0.0..=1.0`), or zero if empty.
@@ -129,7 +129,7 @@ impl LatencyHistogram {
         let target = ((n as f64) * p).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+            seen += b.load(Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
             if seen >= target {
                 return Duration::from_micros(Self::bucket_upper(i));
             }
@@ -140,11 +140,11 @@ impl LatencyHistogram {
     /// Clears all samples.
     pub fn reset(&self) {
         for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
         }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum_micros.store(0, Ordering::Relaxed);
-        self.max_micros.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
+        self.sum_micros.store(0, Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
+        self.max_micros.store(0, Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
     }
 }
 
@@ -204,16 +204,17 @@ impl ThroughputSeries {
     pub fn record(&self, at: Duration, lat: Duration) {
         let idx = (at.as_nanos() / self.width.as_nanos()) as usize;
         if idx < self.counts.len() {
-            self.counts[idx].fetch_add(1, Ordering::Relaxed);
+            self.counts[idx].fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
             self.lat_sums[idx].fetch_add(lat.as_micros() as u64, Ordering::Relaxed);
+        // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
         } else {
-            self.overflow.fetch_add(1, Ordering::Relaxed);
+            self.overflow.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
         }
     }
 
     /// Events recorded past the horizon.
     pub fn overflow(&self) -> u64 {
-        self.overflow.load(Ordering::Relaxed)
+        self.overflow.load(Ordering::Relaxed) // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
     }
 
     /// Snapshot of all windows.
@@ -223,8 +224,8 @@ impl ThroughputSeries {
             .zip(&self.lat_sums)
             .enumerate()
             .map(|(i, (c, l))| {
-                let events = c.load(Ordering::Relaxed);
-                let sum = l.load(Ordering::Relaxed);
+                let events = c.load(Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
+                let sum = l.load(Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
                 SeriesPoint {
                     start: self.width * i as u32,
                     width: self.width,

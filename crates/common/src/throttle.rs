@@ -9,7 +9,9 @@
 //! charges queue exactly like requests at a saturated resource.
 
 use crate::clock::SimClock;
-use parking_lot::{Condvar, Mutex};
+// Shimmed lock/condvar: parking_lot in normal builds, model-checked
+// under `--cfg dmv_check` (see crates/check).
+use dmv_check::sync::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
 

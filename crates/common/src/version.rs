@@ -7,9 +7,11 @@
 //! slaves then materialize exactly that state, lazily, page by page.
 
 use crate::ids::TableId;
+// Shimmed atomics: plain std atomics in normal builds, model-checked
+// under `--cfg dmv_check` (see crates/check).
+use dmv_check::sync::atomic::{AtomicU64, Ordering};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A single table's version component.
 pub type TableVersion = u64;

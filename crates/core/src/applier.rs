@@ -38,11 +38,14 @@ use dmv_common::version::{AtomicVersionVector, VersionVector};
 use dmv_memdb::ReadGate;
 use dmv_pagestore::diff::PageDiff;
 use dmv_pagestore::store::{PageCell, PageStore};
-use parking_lot::{Condvar, Mutex};
+// Shimmed primitives: parking_lot/std in normal builds, model-checked
+// under `--cfg dmv_check` (see crates/check).
+use dmv_check::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use dmv_check::sync::{Condvar, Mutex};
+use dmv_common::clock::wall_deadline;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Number of independently locked page-queue shards. Power of two so
 /// the hash can mask; 64 is comfortably past the core counts this
@@ -127,7 +130,7 @@ impl PendingApplier {
         }
         self.received.merge(&ws.versions);
         self.notify_waiters();
-        self.enqueued_writesets.fetch_add(1, Ordering::Relaxed);
+        self.enqueued_writesets.fetch_add(1, Ordering::Relaxed); // relaxed-ok: diagnostics counter; stream order is carried by received + wait_lock
     }
 
     /// Wakes blocked readers, taking the wait lock only if any exist.
@@ -149,7 +152,7 @@ impl PendingApplier {
 
     /// Write-sets enqueued so far.
     pub fn enqueued_count(&self) -> u64 {
-        self.enqueued_writesets.load(Ordering::Relaxed)
+        self.enqueued_writesets.load(Ordering::Relaxed) // relaxed-ok: diagnostics counter; stream order is carried by received + wait_lock
     }
 
     /// Blocks until the replication stream has delivered everything up
@@ -174,7 +177,7 @@ impl PendingApplier {
         if self.received.dominates(tag) {
             return Ok(());
         }
-        let deadline = Instant::now() + timeout;
+        let deadline = wall_deadline(timeout);
         self.waiters.fetch_add(1, Ordering::SeqCst);
         let mut g = self.wait_lock.lock();
         let result = loop {
@@ -202,9 +205,9 @@ impl PendingApplier {
             if front.version > want {
                 break;
             }
-            let entry = q.pop_front().expect("front checked");
-            // Idempotence across migration: a page image received during
-            // data migration may already include this diff.
+            let entry = q.pop_front().expect("front checked"); // unwrap-ok: front() returned Some under the same queue lock
+                                                               // Idempotence across migration: a page image received during
+                                                               // data migration may already include this diff.
             if entry.version > page.version {
                 entry.diff().apply(page.data_mut());
                 page.version = entry.version;

@@ -335,7 +335,7 @@ impl DmvCluster {
                 let Some(cluster) = weak.upgrade() else { break };
                 cluster.detect_and_reconfigure();
             })
-            .expect("spawn monitor");
+            .expect("spawn monitor"); // unwrap-ok: thread spawn fails only on OS resource exhaustion at startup
         self.threads.lock().push(h);
     }
 
@@ -345,7 +345,7 @@ impl DmvCluster {
         let period = self
             .clock
             .scale()
-            .to_wall(self.spec.checkpoint_period.expect("checked"))
+            .to_wall(self.spec.checkpoint_period.expect("checked")) // unwrap-ok: guarded by the checkpoint_period Some-check at the call site
             .max(Duration::from_millis(10));
         let h = std::thread::Builder::new()
             .name("dmv-checkpoint".into())
@@ -360,7 +360,7 @@ impl DmvCluster {
                     }
                 }
             })
-            .expect("spawn checkpointer");
+            .expect("spawn checkpointer"); // unwrap-ok: thread spawn fails only on OS resource exhaustion at startup
         self.threads.lock().push(h);
     }
 
@@ -590,7 +590,7 @@ impl DmvCluster {
         if batches.is_empty() {
             batches.push(PageBatch { pages: Vec::new(), done: true });
         } else {
-            batches.last_mut().expect("nonempty").done = true;
+            batches.last_mut().expect("nonempty").done = true; // unwrap-ok: else-branch of the is_empty check above
         }
         for b in batches {
             let msg = Msg::PageBatch(b);
@@ -725,7 +725,7 @@ impl Session {
                 Err(e) => return Err(e),
             }
         }
-        Err(last.expect("at least one attempt"))
+        Err(last.expect("at least one attempt")) // unwrap-ok: the retry loop always records an error before falling through
     }
 
     /// Closure form of [`Session::read_retry`].
@@ -749,7 +749,7 @@ impl Session {
                 Err(e) => return Err(e),
             }
         }
-        Err(last.expect("at least one attempt"))
+        Err(last.expect("at least one attempt")) // unwrap-ok: the retry loop always records an error before falling through
     }
 
     /// Runs an update, retrying retryable aborts up to `retries` times.
@@ -769,7 +769,7 @@ impl Session {
                 Err(e) => return Err(e),
             }
         }
-        Err(last.expect("at least one attempt"))
+        Err(last.expect("at least one attempt")) // unwrap-ok: the retry loop always records an error before falling through
     }
 
     /// Runs a read, retrying retryable aborts up to `retries` times.
@@ -789,7 +789,7 @@ impl Session {
                 Err(e) => return Err(e),
             }
         }
-        Err(last.expect("at least one attempt"))
+        Err(last.expect("at least one attempt")) // unwrap-ok: the retry loop always records an error before falling through
     }
 
     /// The owning cluster.

@@ -39,6 +39,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod applier;
 pub mod cluster;
 pub mod messages;

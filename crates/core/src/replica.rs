@@ -18,11 +18,14 @@ use dmv_simnet::Network;
 use dmv_sql::exec::{execute, ResultSet, StatementRunner};
 use dmv_sql::query::Query;
 use dmv_sql::schema::Schema;
-use parking_lot::{Condvar, Mutex, RwLock};
+// Shimmed primitives: parking_lot/std in normal builds, model-checked
+// under `--cfg dmv_check` (see crates/check).
+use dmv_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use dmv_check::sync::{Condvar, Mutex, RwLock};
+use dmv_common::clock::wall_deadline;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration for one replica node.
 #[derive(Clone)]
@@ -172,7 +175,7 @@ impl ReplicaNode {
                     drop(node);
                 }
             })
-            .expect("spawn receiver");
+            .expect("spawn receiver"); // unwrap-ok: thread spawn fails only on OS resource exhaustion at startup
         *node.receiver.lock() = Some(handle);
         node
     }
@@ -359,7 +362,7 @@ impl ReplicaNode {
             return Err(DmvError::NodeFailed(self.id));
         }
         txn.commit(Some(&new_v));
-        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        self.stats.commits.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter, read only for reporting
         Ok(new_v)
     }
 
@@ -382,7 +385,7 @@ impl ReplicaNode {
     }
 
     fn wait_for_acks(&self, txn: TxnId, targets: &[NodeId]) {
-        let deadline = Instant::now() + self.ack_timeout;
+        let deadline = wall_deadline(self.ack_timeout);
         let mut acks = self.acks.lock();
         loop {
             let got = acks.get(&txn);
@@ -420,13 +423,13 @@ impl ReplicaNode {
             let mut runner = NodeRunner { node: self, inner: &mut txn };
             if let Err(e) = f(&mut runner) {
                 if matches!(e, DmvError::VersionConflict { .. }) {
-                    self.stats.version_aborts.fetch_add(1, Ordering::Relaxed);
+                    self.stats.version_aborts.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter, read only for reporting
                 }
                 return Err(e);
             }
         }
         txn.commit(None);
-        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter, read only for reporting
         Ok(())
     }
 
@@ -515,7 +518,7 @@ impl ReplicaNode {
     ///
     /// `Network` on timeout.
     pub fn wait_migration_done(&self, timeout: Duration) -> DmvResult<()> {
-        let deadline = Instant::now() + timeout;
+        let deadline = wall_deadline(timeout);
         let mut done = self.migration_done.lock();
         while !*done {
             if self.migration_cv.wait_until(&mut done, deadline).timed_out() {

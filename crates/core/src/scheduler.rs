@@ -23,9 +23,11 @@ use dmv_ondisk::DiskDb;
 use dmv_simnet::Network;
 use dmv_sql::exec::{RecordingRunner, ResultSet, StatementRunner};
 use dmv_sql::query::Query;
-use parking_lot::{Mutex, RwLock};
+// Shimmed primitives: parking_lot/std in normal builds, model-checked
+// under `--cfg dmv_check` (see crates/check).
+use dmv_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use dmv_check::sync::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -191,7 +193,7 @@ impl Scheduler {
                         }
                     }
                 })
-                .expect("spawn backend feed");
+                .expect("spawn backend feed"); // unwrap-ok: thread spawn fails only on OS resource exhaustion at startup
             *sched.feed_thread.lock() = Some(handle);
         }
         sched
@@ -344,6 +346,7 @@ impl Scheduler {
         if let WarmupStrategy::QueryFraction(f) = self.cfg.warmup {
             if f > 0.0 && !topo.spares.is_empty() {
                 let period = (1.0 / f).round().max(1.0) as u64;
+                // relaxed-ok: warmup pacing heuristic; exact interleaving immaterial
                 if self.read_counter.load(Ordering::Relaxed) % period == period - 1 {
                     if let Some(spare) = topo.spares.iter().find(|s| s.is_alive()) {
                         return Ok(Arc::clone(spare));
@@ -362,9 +365,10 @@ impl Scheduler {
         let loads = self.slave_loads.read();
         let tag_total = tag.total();
         let inflight_of = |s: &Arc<ReplicaNode>| {
+            // relaxed-ok: load-balancing hint; staleness skews routing, never correctness
             loads.get(&s.id()).map(|l| l.inflight.load(Ordering::Relaxed)).unwrap_or(0)
         };
-        let least_loaded = alive.iter().copied().min_by_key(|s| inflight_of(s)).expect("nonempty");
+        let least_loaded = alive.iter().copied().min_by_key(|s| inflight_of(s)).expect("nonempty"); // unwrap-ok: pick_slave already returned NoReplicaAvailable when alive is empty
         let best = if self.cfg.same_version_routing {
             // Prefer a replica already serving this version, unless it is
             // badly overloaded relative to the least-loaded one — the
@@ -375,7 +379,7 @@ impl Scheduler {
                 .filter(|s| {
                     loads
                         .get(&s.id())
-                        .map(|l| l.last_tag_total.load(Ordering::Relaxed) == tag_total)
+                        .map(|l| l.last_tag_total.load(Ordering::Relaxed) == tag_total) // relaxed-ok: load-balancing hint; staleness skews routing, never correctness
                         .unwrap_or(false)
                 })
                 .min_by_key(|s| inflight_of(s))
@@ -409,19 +413,19 @@ impl Scheduler {
     ) -> DmvResult<()> {
         let tag = self.latest();
         let slave = self.pick_slave(&tag)?;
-        let n = self.read_counter.fetch_add(1, Ordering::Relaxed) + 1;
-        // Warmup strategy B: periodic page-id transfer to spares.
+        let n = self.read_counter.fetch_add(1, Ordering::Relaxed) + 1; // relaxed-ok: warmup pacing heuristic; exact interleaving immaterial
+                                                                       // Warmup strategy B: periodic page-id transfer to spares.
         if let WarmupStrategy::PageIdTransfer { every_reads } = self.cfg.warmup {
             if every_reads > 0 && n.is_multiple_of(every_reads) {
                 self.send_pageid_hints();
             }
         }
         let load = self.load_of(slave.id());
-        load.inflight.fetch_add(1, Ordering::Relaxed);
-        load.last_tag_total.store(tag.total(), Ordering::Relaxed);
+        load.inflight.fetch_add(1, Ordering::Relaxed); // relaxed-ok: load-balancing hint; staleness skews routing, never correctness
+        load.last_tag_total.store(tag.total(), Ordering::Relaxed); // relaxed-ok: load-balancing hint; staleness skews routing, never correctness
         self.charge_hop(256);
         let res = slave.execute_read_with(&tag, f);
-        load.inflight.fetch_sub(1, Ordering::Relaxed);
+        load.inflight.fetch_sub(1, Ordering::Relaxed); // relaxed-ok: load-balancing hint; staleness skews routing, never correctness
         match res {
             Ok(()) => {
                 self.charge_hop(512);

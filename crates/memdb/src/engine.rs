@@ -154,7 +154,7 @@ impl MemDb {
     }
 
     fn next_txn_id(&self) -> TxnId {
-        TxnId::new(self.node, self.next_txn.fetch_add(1, Ordering::Relaxed))
+        TxnId::new(self.node, self.next_txn.fetch_add(1, Ordering::Relaxed)) // relaxed-ok: ID allocator; uniqueness comes from the RMW, nothing is published
     }
 
     /// Begins an update transaction (per-page 2PL; master side).

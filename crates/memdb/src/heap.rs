@@ -120,7 +120,7 @@ pub fn scan(txn: &mut Txn<'_>, table: TableId) -> DmvResult<Vec<(RowId, Row)>> {
         let id = PageId::heap(table, page_no);
         let recs: Vec<(u16, Vec<u8>)> = txn.read_page(id, |d| {
             slotted::live_slots(d)
-                .map(|s| (s, slotted::read(d, s).expect("live slot").to_vec()))
+                .map(|s| (s, slotted::read(d, s).expect("live slot").to_vec())) // unwrap-ok: slot ids come from live_slots over the same page bytes
                 .collect()
         })?;
         for (slot, bytes) in recs {

@@ -38,6 +38,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod engine;
 pub mod heap;
 pub mod index;

@@ -7,11 +7,12 @@
 //! waiter aborts with [`DmvError::Deadlock`] — the simple deadlock
 //! resolution the retry-based TPC-W client tolerates well.
 
+use dmv_common::clock::wall_deadline;
 use dmv_common::error::{DmvError, DmvResult};
 use dmv_common::ids::{PageId, TxnId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Lock mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +75,7 @@ impl LockManager {
     /// Returns [`DmvError::Deadlock`] if the wait exceeds the configured
     /// timeout; the caller is expected to abort the transaction.
     pub fn acquire(&self, txn: TxnId, page: PageId, mode: LockMode) -> DmvResult<()> {
-        let deadline = Instant::now() + self.timeout;
+        let deadline = wall_deadline(self.timeout);
         let mut entries = self.entries.lock();
         loop {
             let entry = entries.entry(page).or_default();

@@ -247,7 +247,7 @@ impl DiskDb {
             return;
         }
         let excess = resident - self.buffer_pages;
-        let epoch = self.evict_epoch.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.evict_epoch.fetch_add(1, Ordering::Relaxed); // relaxed-ok: eviction epoch stamp; only relative recency matters
         let mut candidates: Vec<_> = store
             .page_ids()
             .into_iter()

@@ -18,6 +18,9 @@
 //! is unavailable; the *ratios* between disk, network and CPU costs are
 //! what the reproduced figures depend on.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod binlog;
 pub mod engine;
 pub mod tier;

@@ -117,7 +117,7 @@ impl InnoDbTier {
         if actives.is_empty() {
             return Err(DmvError::NoReplicaAvailable);
         }
-        let i = self.rr.fetch_add(1, Ordering::Relaxed) % actives.len();
+        let i = self.rr.fetch_add(1, Ordering::Relaxed) % actives.len(); // relaxed-ok: round-robin pick; any interleaving is a valid rotation
         actives[i].execute_txn(queries)
     }
 
@@ -157,7 +157,7 @@ impl InnoDbTier {
         if actives.is_empty() {
             return Err(DmvError::NoReplicaAvailable);
         }
-        let i = self.rr.fetch_add(1, Ordering::Relaxed) % actives.len();
+        let i = self.rr.fetch_add(1, Ordering::Relaxed) % actives.len(); // relaxed-ok: round-robin pick; any interleaving is a valid rotation
         actives[i].run_with(f).map(|_| ())
     }
 

@@ -190,8 +190,8 @@ fn next_changed(before: &[u8], after: &[u8], mut i: usize) -> usize {
         i += 1;
     }
     while i + WORD <= PAGE_SIZE {
-        let a = u64::from_le_bytes(before[i..i + WORD].try_into().expect("word slice"));
-        let b = u64::from_le_bytes(after[i..i + WORD].try_into().expect("word slice"));
+        let a = u64::from_le_bytes(before[i..i + WORD].try_into().expect("word slice")); // unwrap-ok: slice length is WORD by construction
+        let b = u64::from_le_bytes(after[i..i + WORD].try_into().expect("word slice")); // unwrap-ok: slice length is WORD by construction
         let x = a ^ b;
         if x != 0 {
             // from_le_bytes maps byte k of the slice to bits 8k..8k+8,

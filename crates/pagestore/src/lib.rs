@@ -18,6 +18,9 @@
 //! * [`checkpoint`] — the fuzzy checkpoint used for stale-node
 //!   reintegration (paper §4.4).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod checkpoint;
 pub mod diff;
 pub mod page;

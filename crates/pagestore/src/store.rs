@@ -202,13 +202,13 @@ impl PageStore {
         }
         self.residency.charge();
         cell.set_resident(true);
-        self.faults.fetch_add(1, Ordering::Relaxed);
+        self.faults.fetch_add(1, Ordering::Relaxed); // relaxed-ok: fault diagnostics counter
         true
     }
 
     /// Total page faults taken so far.
     pub fn fault_count(&self) -> u64 {
-        self.faults.load(Ordering::Relaxed)
+        self.faults.load(Ordering::Relaxed) // relaxed-ok: fault diagnostics counter
     }
 
     /// Number of resident pages.

@@ -14,6 +14,9 @@
 //! still sees per-query table access types, which is what its routing
 //! decisions need).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod exec;
 pub mod query;
 pub mod row;

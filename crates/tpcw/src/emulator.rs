@@ -97,11 +97,11 @@ impl EmulatorHandle {
             let _ = t.join();
         }
         let s = &self.shared;
-        let interactions = s.interactions.load(Ordering::Relaxed);
+        let interactions = s.interactions.load(Ordering::Relaxed); // relaxed-ok: benchmark tally; aggregated only after worker join()
         EmulatorReport {
             interactions,
-            updates: s.updates.load(Ordering::Relaxed),
-            errors: s.errors.load(Ordering::Relaxed),
+            updates: s.updates.load(Ordering::Relaxed), // relaxed-ok: benchmark tally; aggregated only after worker join()
+            errors: s.errors.load(Ordering::Relaxed), // relaxed-ok: benchmark tally; aggregated only after worker join()
             wips: interactions as f64 / self.cfg.duration.as_secs_f64(),
             mean_latency: s.hist.mean(),
             p90_latency: s.hist.percentile(0.9),
@@ -179,15 +179,16 @@ pub fn spawn_emulator(
                         Ok(()) => {
                             shared.series.record(t1, latency);
                             if t0 >= warmup_end && t1 <= run_end {
-                                shared.interactions.fetch_add(1, Ordering::Relaxed);
+                                shared.interactions.fetch_add(1, Ordering::Relaxed); // relaxed-ok: benchmark tally; aggregated only after worker join()
                                 if kind.is_update() {
+                                    // relaxed-ok: benchmark tally; aggregated only after worker join()
                                     shared.updates.fetch_add(1, Ordering::Relaxed);
                                 }
                                 shared.hist.record(latency);
                             }
                         }
                         Err(_) => {
-                            shared.errors.fetch_add(1, Ordering::Relaxed);
+                            shared.errors.fetch_add(1, Ordering::Relaxed); // relaxed-ok: benchmark tally; aggregated only after worker join()
                         }
                     }
                 }

@@ -171,7 +171,7 @@ impl IdAllocator {
     }
 
     fn alloc(counter: &AtomicI64) -> i64 {
-        counter.fetch_add(1, Ordering::Relaxed)
+        counter.fetch_add(1, Ordering::Relaxed) // relaxed-ok: ID allocator; uniqueness comes from the RMW
     }
 
     /// Allocates a new customer id.
@@ -202,12 +202,12 @@ impl IdAllocator {
     /// Highest existing order id (BestSellers looks at the most recent
     /// 3333 orders).
     pub fn current_max_order(&self) -> i64 {
-        self.next_order.load(Ordering::Relaxed) - 1
+        self.next_order.load(Ordering::Relaxed) - 1 // relaxed-ok: ID allocator; uniqueness comes from the RMW
     }
 
     /// Highest existing populated customer id.
     pub fn current_max_customer(&self) -> i64 {
-        self.next_customer.load(Ordering::Relaxed) - 1
+        self.next_customer.load(Ordering::Relaxed) - 1 // relaxed-ok: ID allocator; uniqueness comes from the RMW
     }
 }
 

@@ -20,6 +20,9 @@
 //!   think time, warmup exclusion, WIPS and latency reporting, and a
 //!   step-load peak finder.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod backend;
 pub mod emulator;
 pub mod interactions;

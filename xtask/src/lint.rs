@@ -1,0 +1,509 @@
+//! The repo-specific lint pass: `cargo xtask lint`.
+//!
+//! A dependency-free, line/token-based scanner enforcing invariants the
+//! compiler cannot see. It walks every `crates/*/src/**/*.rs` file
+//! (vendor shims and this binary are exempt) and checks:
+//!
+//! * **relaxed-justify** — every `Ordering::Relaxed` carries a
+//!   `// relaxed-ok: <why>` justification on the same or previous line.
+//!   Relaxed is correct only for values nothing else is ordered
+//!   against (counters, IDs, load hints); the comment is the proof
+//!   obligation.
+//! * **wall-clock** — `std::time::Instant` / `SystemTime` only inside
+//!   `crates/common/src/clock.rs` (plus the dmv-check shim layer that
+//!   mirrors parking_lot's deadline API). All other code goes through
+//!   `SimClock`/`wall_now`, keeping simnet time-scaling intact.
+//! * **rng-sources** — `thread_rng` / `rand::random` only inside
+//!   `crates/common/src/rng.rs`; everything else derives from seeded
+//!   streams so whole-cluster runs stay reproducible.
+//! * **hotpath-locks** — no `std::sync::Mutex`/`RwLock` in the
+//!   hot-path crates (core, common, pagestore): parking_lot (or the
+//!   dmv-check shims) only.
+//! * **no-unwrap** — no `.unwrap()` / `.expect(` in non-test code of
+//!   core/memdb/pagestore; `// unwrap-ok: <why>` documents the
+//!   invariant where a panic truly cannot fire.
+//! * **lock-order** — nested lock acquisitions must agree with the
+//!   hierarchy declared in `xtask/lock_order.toml`. The scanner tracks
+//!   `let g = x.lock()` / `drop(g)` / scope exit per function, so only
+//!   genuinely-overlapping holds are compared.
+//!
+//! Test code is skipped: files under a `tests/` or `benches/` dir are
+//! never scanned, and within a src file everything from the first
+//! `#[cfg(test)]` line onward is ignored (repo convention keeps test
+//! modules at the bottom of the file).
+//!
+//! Escape hatches (`relaxed-ok:`, `wall-clock-ok:`, `rng-ok:`,
+//! `unwrap-ok:`, `lock-order-ok:`) take effect on the violating line or
+//! the line directly above it, and are themselves grep-able audit
+//! points.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Files allowed to name `Instant`/`SystemTime` directly.
+const WALL_CLOCK_ALLOWED: &[&str] = &["crates/common/src/clock.rs", "crates/check/src/sync.rs"];
+
+/// Files allowed to reach for ambient randomness.
+const RNG_ALLOWED: &[&str] = &["crates/common/src/rng.rs"];
+
+/// Crates whose hot paths must not use std's poisoning locks.
+const HOTPATH_CRATES: &[&str] = &["crates/core/", "crates/common/", "crates/pagestore/"];
+
+/// Crates whose non-test code must not panic via unwrap/expect.
+const NO_UNWRAP_CRATES: &[&str] = &["crates/core/", "crates/memdb/", "crates/pagestore/"];
+
+#[derive(Debug)]
+struct Violation {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+pub fn run(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("lint: --root needs a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("lint: unknown argument `{other}` (supported: --root <path>)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("lint: could not locate workspace root (run from inside the repo)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let order = match LockOrder::load(&root.join("xtask/lock_order.toml")) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path.strip_prefix(&root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        // Only library/binary sources; integration tests and benches
+        // may use wall clocks, ambient RNG and unwrap freely.
+        if !rel.contains("/src/") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(path) else {
+            eprintln!("lint: unreadable file {rel}");
+            return ExitCode::FAILURE;
+        };
+        scanned += 1;
+        lint_file(&rel, &text, &order, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!("lint: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("lint: {} violation(s) in {} scanned file(s)", violations.len(), scanned);
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// One source line split into its code and comment halves.
+struct SplitLine<'a> {
+    code: &'a str,
+    comment: &'a str,
+}
+
+/// Naive `//` split — good enough for token scanning; `//` inside a
+/// string literal would mis-split, which at worst suppresses a token on
+/// that line.
+fn split_comment(line: &str) -> SplitLine<'_> {
+    match line.find("//") {
+        Some(i) => SplitLine { code: &line[..i], comment: &line[i..] },
+        None => SplitLine { code: line, comment: "" },
+    }
+}
+
+/// True if `hay` contains `needle` as a whole word (no identifier
+/// characters on either side), so `WallInstant` does not match
+/// `Instant`.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok =
+            !hay[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Escape comments count on the flagged line or the line directly above.
+fn escaped(lines: &[SplitLine<'_>], idx: usize, escape: &str) -> bool {
+    lines[idx].comment.contains(escape) || (idx > 0 && lines[idx - 1].comment.contains(escape))
+}
+
+fn lint_file(rel: &str, text: &str, order: &LockOrder, out: &mut Vec<Violation>) {
+    let raw: Vec<&str> = text.lines().collect();
+    // Repo convention: test modules sit at the bottom of src files, so
+    // everything from the first `#[cfg(test)]` on is test-only code.
+    let cutoff =
+        raw.iter().position(|l| l.trim_start().starts_with("#[cfg(test)]")).unwrap_or(raw.len());
+    let lines: Vec<SplitLine<'_>> = raw[..cutoff].iter().map(|l| split_comment(l)).collect();
+
+    let in_hotpath = HOTPATH_CRATES.iter().any(|c| rel.starts_with(c));
+    let no_unwrap = NO_UNWRAP_CRATES.iter().any(|c| rel.starts_with(c));
+    let wall_allowed = WALL_CLOCK_ALLOWED.contains(&rel);
+    let rng_allowed = RNG_ALLOWED.contains(&rel);
+
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        out.push(Violation { file: rel.to_string(), line: line + 1, rule, message });
+    };
+
+    for (i, l) in lines.iter().enumerate() {
+        if l.code.contains("Ordering::Relaxed") && !escaped(&lines, i, "relaxed-ok:") {
+            push(
+                i,
+                "relaxed-justify",
+                "Ordering::Relaxed without a `relaxed-ok:` justification — \
+                 state why nothing is ordered against this value, or use Acquire/Release"
+                    .to_string(),
+            );
+        }
+        if !wall_allowed
+            && (contains_word(l.code, "Instant") || contains_word(l.code, "SystemTime"))
+            && !escaped(&lines, i, "wall-clock-ok:")
+        {
+            push(
+                i,
+                "wall-clock",
+                "direct Instant/SystemTime use outside clock.rs — go through \
+                 SimClock or clock::wall_now()/wall_deadline() (simnet determinism)"
+                    .to_string(),
+            );
+        }
+        if !rng_allowed
+            && (contains_word(l.code, "thread_rng") || l.code.contains("rand::random"))
+            && !escaped(&lines, i, "rng-ok:")
+        {
+            push(
+                i,
+                "rng-sources",
+                "ambient randomness outside rng.rs — derive a seeded stream \
+                 via dmv_common::rng so runs stay reproducible"
+                    .to_string(),
+            );
+        }
+        if in_hotpath
+            && l.code.contains("std::sync::")
+            && (l.code.contains("Mutex") || l.code.contains("RwLock"))
+        {
+            push(
+                i,
+                "hotpath-locks",
+                "std::sync::Mutex/RwLock in a hot-path crate — use parking_lot \
+                 or the dmv_check::sync shims (no poisoning, no std contention)"
+                    .to_string(),
+            );
+        }
+        if no_unwrap
+            && (l.code.contains(".unwrap()") || l.code.contains(".expect("))
+            && !escaped(&lines, i, "unwrap-ok:")
+        {
+            push(
+                i,
+                "no-unwrap",
+                "unwrap/expect in non-test hot-path code — return a DmvResult, \
+                 or document the invariant with `unwrap-ok:`"
+                    .to_string(),
+            );
+        }
+    }
+
+    check_lock_order(rel, &lines, order, out);
+}
+
+// ------------------------------------------------------- lock ordering
+
+/// The declared hierarchy: each chain is a list of lock field names in
+/// outermost-first order. Locks in different chains are unordered.
+struct LockOrder {
+    chains: Vec<(String, Vec<String>)>,
+}
+
+impl LockOrder {
+    /// Minimal parser for the `lock_order.toml` subset:
+    /// `[[chain]]` tables with `name = "..."` and
+    /// `order = ["a", "b", ...]` entries.
+    fn load(path: &Path) -> Result<LockOrder, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let mut chains: Vec<(String, Vec<String>)> = Vec::new();
+        let mut current: Option<(String, Vec<String>)> = None;
+        for (ln, raw) in text.lines().enumerate() {
+            // TOML comments are `#`-prefixed.
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[chain]]" {
+                if let Some(c) = current.take() {
+                    chains.push(c);
+                }
+                current = Some((String::new(), Vec::new()));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("{}:{}: expected `key = value`", path.display(), ln + 1));
+            };
+            let entry = current
+                .as_mut()
+                .ok_or_else(|| format!("{}:{}: entry outside [[chain]]", path.display(), ln + 1))?;
+            match key.trim() {
+                "name" => entry.0 = value.trim().trim_matches('"').to_string(),
+                "order" => {
+                    let inner = value.trim().trim_start_matches('[').trim_end_matches(']');
+                    entry.1 = inner
+                        .split(',')
+                        .map(|s| s.trim().trim_matches('"').to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                }
+                other => {
+                    return Err(format!(
+                        "{}:{}: unknown key `{other}` in [[chain]]",
+                        path.display(),
+                        ln + 1
+                    ));
+                }
+            }
+        }
+        if let Some(c) = current.take() {
+            chains.push(c);
+        }
+        for (name, locks) in &chains {
+            if name.is_empty() || locks.len() < 2 {
+                return Err(format!(
+                    "{}: every [[chain]] needs a name and at least two locks",
+                    path.display()
+                ));
+            }
+        }
+        Ok(LockOrder { chains })
+    }
+
+    /// Position of `lock` in the chain containing both names, if any.
+    fn rank(&self, a: &str, b: &str) -> Option<(usize, usize, &str)> {
+        for (name, chain) in &self.chains {
+            let pa = chain.iter().position(|l| l == a);
+            let pb = chain.iter().position(|l| l == b);
+            if let (Some(pa), Some(pb)) = (pa, pb) {
+                return Some((pa, pb, name));
+            }
+        }
+        None
+    }
+
+    fn is_known(&self, name: &str) -> bool {
+        self.chains.iter().any(|(_, c)| c.iter().any(|l| l == name))
+    }
+}
+
+/// A currently-held lock during the scan of one function body.
+struct Held {
+    lock: String,
+    /// Brace depth at acquisition; leaving it releases the guard.
+    depth: i32,
+    /// The guard variable, when bound with `let`, so `drop(var)` (and
+    /// re-binding) can release it early.
+    var: Option<String>,
+    line: usize,
+}
+
+/// Extracts `name` from the last `name.lock()` / `.read()` / `.write()`
+/// call on the line, plus the `let var` binding if present. Multiple
+/// acquisitions per line are returned in order.
+fn acquisitions(code: &str) -> Vec<(String, Option<String>)> {
+    let bytes = code.as_bytes();
+    let mut found = Vec::new();
+    for method in ["lock()", "read()", "write()"] {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(method) {
+            let at = start + pos;
+            start = at + method.len();
+            // Must be a method call: preceded by '.'
+            if at == 0 || bytes[at - 1] != b'.' {
+                continue;
+            }
+            // Identifier directly before the dot is the lock name.
+            let mut end = at - 1;
+            while end > 0 && {
+                let c = bytes[end - 1] as char;
+                c.is_alphanumeric() || c == '_'
+            } {
+                end -= 1;
+            }
+            let name = &code[end..at - 1];
+            if name.is_empty() {
+                continue;
+            }
+            // `let var = ` binding on the same line, if any.
+            let var = code[..end].rfind("let ").and_then(|l| {
+                let rest = code[l + 4..].trim_start();
+                let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+                let id: String =
+                    rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+                (!id.is_empty()).then_some(id)
+            });
+            found.push((at, name.to_string(), var));
+        }
+    }
+    found.sort_by_key(|(at, _, _)| *at);
+    found.into_iter().map(|(_, n, v)| (n, v)).collect()
+}
+
+fn check_lock_order(
+    rel: &str,
+    lines: &[SplitLine<'_>],
+    order: &LockOrder,
+    out: &mut Vec<Violation>,
+) {
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut fn_depth: Option<i32> = None;
+
+    for (i, l) in lines.iter().enumerate() {
+        let code = l.code;
+        let trimmed = code.trim_start();
+        if fn_depth.is_none() && (trimmed.starts_with("fn ") || trimmed.contains(" fn ")) {
+            fn_depth = Some(depth);
+            held.clear();
+        }
+
+        // Explicit early release: `drop(guard)`.
+        if let Some(pos) = code.find("drop(") {
+            let arg: String =
+                code[pos + 5..].chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            held.retain(|h| h.var.as_deref() != Some(arg.as_str()));
+        }
+
+        for (name, var) in acquisitions(code) {
+            if !order.is_known(&name) {
+                continue;
+            }
+            for h in &held {
+                if let Some((rank_new, rank_held, chain)) = order.rank(&name, &h.lock) {
+                    if rank_new < rank_held && !escaped(lines, i, "lock-order-ok:") {
+                        out.push(Violation {
+                            file: rel.to_string(),
+                            line: i + 1,
+                            rule: "lock-order",
+                            message: format!(
+                                "`{name}` acquired while holding `{held}` — chain `{chain}` \
+                                 orders {name} before {held} (held since line {since})",
+                                name = name,
+                                held = h.lock,
+                                chain = chain,
+                                since = h.line + 1,
+                            ),
+                        });
+                    }
+                }
+            }
+            // Re-binding a guard variable drops the old guard first.
+            if let Some(v) = &var {
+                held.retain(|h| h.var.as_deref() != Some(v.as_str()));
+            }
+            held.push(Held { lock: name, depth, var, line: i });
+        }
+
+        // Brace tracking after acquisition handling: a guard acquired on
+        // this line lives in the *current* scope.
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    // A guard acquired at depth d dies when its scope
+                    // closes, i.e. when depth drops below d.
+                    held.retain(|h| h.depth <= depth);
+                    if let Some(fd) = fn_depth {
+                        if depth <= fd {
+                            fn_depth = None;
+                            held.clear();
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Repo automation entry point: `cargo xtask <task>`.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint::run(&args.collect::<Vec<_>>()),
+        Some(other) => {
+            eprintln!("unknown task `{other}`; available tasks: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!(
+                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the repo-specific lint pass"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
