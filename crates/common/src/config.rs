@@ -126,9 +126,52 @@ impl Default for CpuProfile {
     }
 }
 
+/// Tuning knobs for the real TCP transport (`dmv-net`).
+///
+/// Unlike the profiles above, these are **wall-time** durations: the TCP
+/// transport moves real bytes through the kernel, so its timeouts bound
+/// actual I/O rather than modeled cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// First reconnect delay after a failed connect.
+    pub connect_backoff_base: Duration,
+    /// Cap on the exponential reconnect delay.
+    pub connect_backoff_cap: Duration,
+    /// Idle interval after which a writer emits a heartbeat frame.
+    pub heartbeat_interval: Duration,
+    /// Per-link bounded outbound queue depth (messages).
+    pub queue_depth: usize,
+    /// How long a sender blocks on a full outbound queue before the
+    /// send fails with backpressure.
+    pub enqueue_timeout: Duration,
+    /// Seed for backoff jitter (drawn via `rng::derive`, one stream per
+    /// link, so reconnect schedules are reproducible).
+    pub seed: u64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            connect_backoff_base: Duration::from_millis(10),
+            connect_backoff_cap: Duration::from_secs(1),
+            heartbeat_interval: Duration::from_millis(200),
+            queue_depth: 1024,
+            enqueue_timeout: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tcp_defaults_sane() {
+        let t = TcpConfig::default();
+        assert!(t.connect_backoff_base < t.connect_backoff_cap);
+        assert!(t.queue_depth > 0);
+    }
 
     #[test]
     fn defaults_are_commodity() {

@@ -47,6 +47,10 @@ pub enum DmvError {
     InvalidTxnState(String),
     /// Network-level failure (endpoint closed, timeout).
     Network(String),
+    /// Wire-format decode failure (truncated frame, bad checksum,
+    /// unknown tag or protocol version). Never retryable: the peer sent
+    /// bytes this build cannot interpret.
+    Codec(String),
     /// Internal invariant violation; indicates a bug.
     Internal(String),
 }
@@ -78,6 +82,7 @@ impl fmt::Display for DmvError {
             DmvError::Storage(s) => write!(f, "storage error: {s}"),
             DmvError::InvalidTxnState(s) => write!(f, "invalid transaction state: {s}"),
             DmvError::Network(s) => write!(f, "network error: {s}"),
+            DmvError::Codec(s) => write!(f, "codec error: {s}"),
             DmvError::Internal(s) => write!(f, "internal error: {s}"),
         }
     }

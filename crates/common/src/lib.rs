@@ -32,6 +32,7 @@ pub mod rng;
 pub mod stats;
 pub mod throttle;
 pub mod version;
+pub mod wire;
 
 pub use clock::{SimClock, TimeScale};
 pub use error::{DmvError, DmvResult};

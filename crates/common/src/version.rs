@@ -441,10 +441,14 @@ mod props {
     }
 
     /// A writer merges the totally-ordered chain `[i, i]`; every
-    /// concurrent snapshot must be a vector from that chain, never a
-    /// torn mixture like `[i, i-1]`. (A torn read-tag makes readers
-    /// abort on pages legitimately applied ahead of the torn
-    /// component — the naive per-entry snapshot failed this.)
+    /// concurrent snapshot must be an instantaneous state of that
+    /// history: `[i, i]`, or `[i, i-1]` while the writer sits between
+    /// the two `fetch_max`es of one merge (entry 0 advances first).
+    /// A *torn* snapshot inverts the order (`s0 < s1`) or mixes states
+    /// more than one merge apart — the naive single-collect snapshot
+    /// produced both. (Mirrors `snapshot_is_linearizable_under_chain_
+    /// merge` in crates/check, which explores the interleavings
+    /// exhaustively; this is the full-speed stress version.)
     #[test]
     fn atomic_snapshot_is_never_torn() {
         use std::sync::Arc;
@@ -463,7 +467,8 @@ mod props {
                 std::thread::spawn(move || {
                     for _ in 0..25_000 {
                         let s = av.snapshot();
-                        assert_eq!(s.entries()[0], s.entries()[1], "torn snapshot: {s}");
+                        let (s0, s1) = (s.entries()[0], s.entries()[1]);
+                        assert!(s0 >= s1 && s0 - s1 <= 1, "torn snapshot: {s}");
                     }
                 })
             })

@@ -1,0 +1,298 @@
+//! Versioned little-endian wire codec primitives.
+//!
+//! Every value that crosses a real network boundary implements [`Wire`]:
+//! an explicit, dependency-free encoding with an **exact** size
+//! ([`Wire::encoded_len`]), so the simulated network's serialization-cost
+//! charge and the TCP transport's frames agree byte for byte.
+//!
+//! The codec is deliberately minimal: all integers are little-endian,
+//! all sequences are length-prefixed, and there is no self-description —
+//! the protocol version carried by the transport handshake (see
+//! `dmv-net`) selects the layout. Decoding is total: malformed input
+//! yields [`DmvError::Codec`], never a panic, which keeps the decoder
+//! safe against truncated or corrupted frames.
+
+use crate::error::{DmvError, DmvResult};
+use crate::ids::{NodeId, PageId, PageSpace, TableId, TxnId};
+use crate::version::VersionVector;
+
+/// A value with an explicit wire encoding.
+///
+/// Invariants (checked by the round-trip proptests in `dmv-core`):
+///
+/// - `encode(x).len() == x.encoded_len()`
+/// - `decode(&mut Reader::new(&encode(x))) == Ok(x)`
+pub trait Wire: Sized {
+    /// Exact number of bytes [`encode_into`](Wire::encode_into) appends.
+    fn encoded_len(&self) -> usize;
+
+    /// Appends the encoding of `self` to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the cursor, advancing it.
+    fn decode(r: &mut Reader<'_>) -> DmvResult<Self>;
+
+    /// Encodes `self` into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// Decodes exactly one value from `bytes`, rejecting trailing garbage.
+pub fn decode_exact<T: Wire>(bytes: &[u8]) -> DmvResult<T> {
+    let mut r = Reader::new(bytes);
+    let v = T::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(DmvError::Codec(format!("{} trailing bytes after value", r.remaining())));
+    }
+    Ok(v)
+}
+
+/// Read cursor over an encoded buffer.
+///
+/// All accessors fail with [`DmvError::Codec`] on exhaustion instead of
+/// panicking, so a truncated frame can never take the receiver down.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> DmvResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(DmvError::Codec(format!(
+                "truncated input: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consumes one byte.
+    pub fn u8(&mut self) -> DmvResult<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Consumes a little-endian `u16`.
+    pub fn u16(&mut self) -> DmvResult<u16> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Consumes a little-endian `u32`.
+    pub fn u32(&mut self) -> DmvResult<u32> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Consumes a little-endian `u64`.
+    pub fn u64(&mut self) -> DmvResult<u64> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a sequence count and guards it against hostile allocation:
+    /// a count claiming more elements than the remaining bytes could
+    /// possibly hold (at `min_elem_len` bytes each) is rejected before
+    /// any `Vec::with_capacity`.
+    pub fn seq_len(&mut self, count: usize, min_elem_len: usize) -> DmvResult<usize> {
+        if min_elem_len > 0 && count > self.remaining() / min_elem_len {
+            return Err(DmvError::Codec(format!(
+                "sequence length {count} exceeds remaining input ({} bytes)",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+}
+
+/// Appends a little-endian `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+impl Wire for NodeId {
+    fn encoded_len(&self) -> usize {
+        4
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
+        Ok(NodeId(r.u32()?))
+    }
+}
+
+impl Wire for TableId {
+    fn encoded_len(&self) -> usize {
+        2
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u16(out, self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
+        Ok(TableId(r.u16()?))
+    }
+}
+
+impl Wire for PageSpace {
+    fn encoded_len(&self) -> usize {
+        2
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            PageSpace::Heap => out.extend_from_slice(&[0, 0]),
+            PageSpace::Index(i) => out.extend_from_slice(&[1, *i]),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
+        let tag = r.u8()?;
+        let idx = r.u8()?;
+        match tag {
+            0 => Ok(PageSpace::Heap),
+            1 => Ok(PageSpace::Index(idx)),
+            t => Err(DmvError::Codec(format!("unknown page-space tag {t}"))),
+        }
+    }
+}
+
+impl Wire for PageId {
+    fn encoded_len(&self) -> usize {
+        8
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.table.encode_into(out);
+        self.space.encode_into(out);
+        put_u32(out, self.page_no);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
+        Ok(PageId { table: TableId::decode(r)?, space: PageSpace::decode(r)?, page_no: r.u32()? })
+    }
+}
+
+impl Wire for TxnId {
+    fn encoded_len(&self) -> usize {
+        12
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.node.encode_into(out);
+        put_u64(out, self.seq);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
+        Ok(TxnId { node: NodeId::decode(r)?, seq: r.u64()? })
+    }
+}
+
+impl Wire for VersionVector {
+    fn encoded_len(&self) -> usize {
+        2 + 8 * self.len()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        // The per-table vector is bounded by the schema's table count; a
+        // u16 prefix matches `TableId`'s width.
+        put_u16(out, self.len() as u16);
+        for e in self.entries() {
+            put_u64(out, *e);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
+        let count = r.u16()? as usize;
+        let n = r.seq_len(count, 8)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(r.u64()?);
+        }
+        Ok(VersionVector::from_entries(entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encode();
+        assert_eq!(bytes.len(), v.encoded_len(), "encoded_len drift for {v:?}");
+        assert_eq!(decode_exact::<T>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(NodeId(0));
+        roundtrip(NodeId(u32::MAX));
+        roundtrip(TableId(7));
+        roundtrip(PageSpace::Heap);
+        roundtrip(PageSpace::Index(3));
+        roundtrip(PageId::heap(TableId(2), 9));
+        roundtrip(PageId::index(TableId(1), 4, u32::MAX));
+        roundtrip(TxnId::new(NodeId(5), u64::MAX));
+        roundtrip(VersionVector::new(0));
+        roundtrip(VersionVector::from_entries(vec![1, 0, u64::MAX]));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let full = PageId::heap(TableId(3), 12).encode();
+        for cut in 0..full.len() {
+            let err = decode_exact::<PageId>(&full[..cut]).unwrap_err();
+            assert!(matches!(err, DmvError::Codec(_)), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = NodeId(1).encode();
+        bytes.push(0);
+        assert!(matches!(decode_exact::<NodeId>(&bytes), Err(DmvError::Codec(_))));
+    }
+
+    #[test]
+    fn unknown_page_space_tag_rejected() {
+        assert!(matches!(decode_exact::<PageSpace>(&[9, 0]), Err(DmvError::Codec(_))));
+    }
+
+    #[test]
+    fn hostile_sequence_length_rejected_before_allocation() {
+        // Claims u16::MAX entries with no payload behind the count.
+        let bytes = u16::MAX.to_le_bytes().to_vec();
+        assert!(matches!(decode_exact::<VersionVector>(&bytes), Err(DmvError::Codec(_))));
+    }
+}

@@ -11,8 +11,9 @@ use dmv_common::error::{DmvError, DmvResult};
 use dmv_common::ids::{NodeId, ReplicaRole, TableId};
 use dmv_common::stats::TxnStats;
 use dmv_common::version::VersionVector;
+use dmv_common::wire::Wire;
+use dmv_net::{DynTransport, SimnetTransport};
 use dmv_ondisk::{DiskDb, DiskDbOptions};
-use dmv_simnet::Network;
 use dmv_sql::exec::{execute, ResultSet};
 use dmv_sql::query::Query;
 use dmv_sql::row::Row;
@@ -57,6 +58,10 @@ pub struct ClusterSpec {
     pub fault_latency: Duration,
     /// Lock wait timeout (wall time).
     pub lock_timeout: Duration,
+    /// Bound on a master's wait for replication acks (wall time). A
+    /// dead or unreachable target is abandoned after this long; the
+    /// failure detector reconfigures it away.
+    pub ack_timeout: Duration,
     /// Spare warmup strategy.
     pub warmup: WarmupStrategy,
     /// Fuzzy checkpoint period, if any.
@@ -88,6 +93,7 @@ impl ClusterSpec {
             backend_buffer_pages: 512,
             fault_latency: Duration::from_micros(8000),
             lock_timeout: Duration::from_millis(300),
+            ack_timeout: Duration::from_secs(2),
             warmup: WarmupStrategy::None,
             checkpoint_period: None,
             detect_interval: Duration::from_secs(1),
@@ -106,6 +112,7 @@ impl ClusterSpec {
         s.fault_latency = Duration::ZERO;
         s.detect_interval = Duration::from_millis(20);
         s.log_latency = Duration::ZERO;
+        s.ack_timeout = Duration::from_millis(500);
         s
     }
 }
@@ -124,7 +131,7 @@ pub struct MigrationReport {
 /// The running DMV cluster: in-memory tier + schedulers + backends.
 pub struct DmvCluster {
     clock: SimClock,
-    net: Network<Msg>,
+    net: DynTransport<Msg>,
     spec: ClusterSpec,
     replicas: RwLock<HashMap<NodeId, Arc<ReplicaNode>>>,
     schedulers: Vec<Arc<Scheduler>>,
@@ -140,9 +147,25 @@ impl DmvCluster {
     /// Builds the cluster in *loading* state: nodes exist but replication
     /// targets are not wired. Call [`DmvCluster::load_rows`] to populate,
     /// then [`DmvCluster::finish_load`] to go live.
+    ///
+    /// The cluster runs on the simulated interconnect described by
+    /// `spec.net`; use [`DmvCluster::start_with_transport`] to run the
+    /// same machinery over a different fabric (e.g. real TCP).
     pub fn start(spec: ClusterSpec) -> Arc<Self> {
         let clock = SimClock::new(spec.time_scale);
-        let net: Network<Msg> = Network::new(spec.net, clock);
+        let net: DynTransport<Msg> = Arc::new(SimnetTransport::new(spec.net, clock));
+        Self::start_inner(spec, clock, net)
+    }
+
+    /// Like [`DmvCluster::start`], but over a caller-supplied transport.
+    /// `spec.net` still models the client↔scheduler hops; the replica
+    /// tier's traffic goes through `net`.
+    pub fn start_with_transport(spec: ClusterSpec, net: DynTransport<Msg>) -> Arc<Self> {
+        let clock = SimClock::new(spec.time_scale);
+        Self::start_inner(spec, clock, net)
+    }
+
+    fn start_inner(spec: ClusterSpec, clock: SimClock, net: DynTransport<Msg>) -> Arc<Self> {
         let n_tables = spec.schema.len();
         let classes: Vec<Vec<TableId>> = spec
             .conflict_classes
@@ -153,7 +176,7 @@ impl DmvCluster {
             cpu: spec.cpu,
             fault_latency: spec.fault_latency,
             lock_timeout: spec.lock_timeout,
-            ack_timeout: Duration::from_secs(2),
+            ack_timeout: spec.ack_timeout,
         };
         let mut replicas = HashMap::new();
         let mut masters = Vec::new();
@@ -163,7 +186,7 @@ impl DmvCluster {
                 id,
                 spec.schema.clone(),
                 ReplicaRole::Master,
-                net.clone(),
+                Arc::clone(&net),
                 rc.clone(),
             );
             replicas.insert(id, Arc::clone(&node));
@@ -176,7 +199,7 @@ impl DmvCluster {
                 id,
                 spec.schema.clone(),
                 ReplicaRole::Slave,
-                net.clone(),
+                Arc::clone(&net),
                 rc.clone(),
             );
             replicas.insert(id, Arc::clone(&node));
@@ -189,7 +212,7 @@ impl DmvCluster {
                 id,
                 spec.schema.clone(),
                 ReplicaRole::SpareBackup,
-                net.clone(),
+                Arc::clone(&net),
                 rc.clone(),
             );
             replicas.insert(id, Arc::clone(&node));
@@ -225,7 +248,7 @@ impl DmvCluster {
                     n_tables,
                     topo.clone(),
                     backends.clone(),
-                    net.clone(),
+                    Arc::clone(&net),
                     sched_cfg.clone(),
                 )
             })
@@ -414,8 +437,8 @@ impl DmvCluster {
         self.clock
     }
 
-    /// The network fabric (for fault injection in tests).
-    pub fn net(&self) -> &Network<Msg> {
+    /// The transport fabric (for fault injection in tests).
+    pub fn net(&self) -> &DynTransport<Msg> {
         &self.net
     }
 
@@ -512,13 +535,13 @@ impl DmvCluster {
             cpu: self.spec.cpu,
             fault_latency: self.spec.fault_latency,
             lock_timeout: self.spec.lock_timeout,
-            ack_timeout: Duration::from_secs(2),
+            ack_timeout: self.spec.ack_timeout,
         };
         let node = ReplicaNode::start(
             id,
             self.spec.schema.clone(),
             ReplicaRole::Slave,
-            self.net.clone(),
+            Arc::clone(&self.net),
             rc,
         );
         node.restore_from_checkpoint(&checkpoint);
@@ -544,13 +567,13 @@ impl DmvCluster {
             cpu: self.spec.cpu,
             fault_latency: self.spec.fault_latency,
             lock_timeout: self.spec.lock_timeout,
-            ack_timeout: Duration::from_secs(2),
+            ack_timeout: self.spec.ack_timeout,
         };
         let node = ReplicaNode::start(
             id,
             self.spec.schema.clone(),
             ReplicaRole::Slave,
-            self.net.clone(),
+            Arc::clone(&self.net),
             rc,
         );
         self.replicas.write().insert(id, Arc::clone(&node));
@@ -596,7 +619,7 @@ impl DmvCluster {
             let msg = Msg::PageBatch(b);
             let size = msg.encoded_len();
             total_bytes += size;
-            self.net.send_external(support.id(), node.id(), msg, size)?;
+            self.net.send_from(support.id(), node.id(), msg, size)?;
         }
         node.wait_migration_done(Duration::from_secs(30))?;
         // The transferred images embody everything up to `target`; the
@@ -625,6 +648,7 @@ impl DmvCluster {
         for r in self.replicas.read().values() {
             r.shutdown();
         }
+        self.net.shutdown();
     }
 }
 

@@ -1,14 +1,23 @@
-//! Replication protocol messages.
+//! Replication protocol messages and their wire encoding.
+//!
+//! Every message variant implements [`Wire`] with an **exact**
+//! `encoded_len`, so the byte counts charged to the simulated network and
+//! the frames pushed through the real TCP transport are the same bytes.
+//! The assertion test at the bottom pins `encode(m).len() ==
+//! m.encoded_len()` for every variant.
 
 use dmv_common::ids::{NodeId, PageId, TxnId};
 use dmv_common::version::VersionVector;
+use dmv_common::wire::{put_u32, put_u64, Reader, Wire};
+use dmv_common::{DmvError, DmvResult};
 use dmv_pagestore::diff::PageDiff;
+use dmv_pagestore::PAGE_SIZE;
 use std::sync::Arc;
 
 /// The write-set a master broadcasts at pre-commit (paper Figure 2): the
 /// per-page modification encodings of one update transaction plus the
 /// database version vector the commit produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WriteSet {
     /// The committing transaction.
     pub txn: TxnId,
@@ -19,16 +28,43 @@ pub struct WriteSet {
     pub pages: Vec<(PageId, PageDiff)>,
 }
 
-impl WriteSet {
-    /// Approximate wire size (for network cost accounting).
-    pub fn encoded_len(&self) -> usize {
-        64 + self.pages.iter().map(|(_, d)| 16 + d.encoded_len()).sum::<usize>()
+impl Wire for WriteSet {
+    fn encoded_len(&self) -> usize {
+        self.txn.encoded_len()
+            + self.versions.encoded_len()
+            + 4
+            + self.pages.iter().map(|(p, d)| p.encoded_len() + Wire::encoded_len(d)).sum::<usize>()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.txn.encode_into(out);
+        self.versions.encode_into(out);
+        put_u32(out, self.pages.len() as u32);
+        for (page, diff) in &self.pages {
+            page.encode_into(out);
+            diff.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
+        let txn = TxnId::decode(r)?;
+        let versions = VersionVector::decode(r)?;
+        let count = r.u32()? as usize;
+        // Minimum per entry: 8-byte PageId + 2-byte empty diff.
+        let n = r.seq_len(count, 10)?;
+        let mut pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            let page = PageId::decode(r)?;
+            let diff = PageDiff::decode(r)?;
+            pages.push((page, diff));
+        }
+        Ok(WriteSet { txn, versions, pages })
     }
 }
 
 /// A batch of full page images sent during data migration (paper §4.4):
 /// only pages newer than the joining node's checkpointed versions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PageBatch {
     /// `(page, version, image)` triples.
     pub pages: Vec<(PageId, u64, Vec<u8>)>,
@@ -36,15 +72,50 @@ pub struct PageBatch {
     pub done: bool,
 }
 
-impl PageBatch {
-    /// Approximate wire size.
-    pub fn encoded_len(&self) -> usize {
-        32 + self.pages.iter().map(|(_, _, img)| 24 + img.len()).sum::<usize>()
+impl Wire for PageBatch {
+    fn encoded_len(&self) -> usize {
+        4 + self.pages.iter().map(|(_, _, img)| 8 + 8 + 4 + img.len()).sum::<usize>() + 1
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.pages.len() as u32);
+        for (page, version, img) in &self.pages {
+            page.encode_into(out);
+            put_u64(out, *version);
+            put_u32(out, img.len() as u32);
+            out.extend_from_slice(img);
+        }
+        out.push(u8::from(self.done));
+    }
+
+    fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
+        let count = r.u32()? as usize;
+        let n = r.seq_len(count, 8 + 8 + 4)?;
+        let mut pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            let page = PageId::decode(r)?;
+            let version = r.u64()?;
+            let len = r.u32()? as usize;
+            // The migration applier copies images into page frames; any
+            // other length would panic there, so reject it here.
+            if len != PAGE_SIZE {
+                return Err(DmvError::Codec(format!(
+                    "page image of {len} bytes, expected {PAGE_SIZE}"
+                )));
+            }
+            pages.push((page, version, r.bytes(len)?.to_vec()));
+        }
+        let done = match r.u8()? {
+            0 => false,
+            1 => true,
+            b => return Err(DmvError::Codec(format!("bad bool byte {b}"))),
+        };
+        Ok(PageBatch { pages, done })
     }
 }
 
-/// Messages carried by the simulated cluster network.
-#[derive(Debug, Clone)]
+/// Messages carried by the cluster transport.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
     /// Master → replicas: a pre-commit write-set flush. The write-set is
     /// shared (`Arc`) so an `n`-slave fan-out clones a pointer per
@@ -82,16 +153,90 @@ pub enum Msg {
     },
 }
 
-impl Msg {
-    /// Approximate wire size of the message.
-    pub fn encoded_len(&self) -> usize {
-        match self {
+/// Wire tags of the [`Msg`] variants (protocol version 1).
+mod tag {
+    pub const WRITE_SET: u8 = 0;
+    pub const WRITE_SET_ACK: u8 = 1;
+    pub const PAGE_BATCH: u8 = 2;
+    pub const PAGE_ID_HINT: u8 = 3;
+    pub const DISCARD_ABOVE: u8 = 4;
+    pub const TOPOLOGY: u8 = 5;
+}
+
+impl Wire for Msg {
+    fn encoded_len(&self) -> usize {
+        1 + match self {
             Msg::WriteSet(ws) => ws.encoded_len(),
-            Msg::WriteSetAck { .. } => 24,
+            Msg::WriteSetAck { txn } => txn.encoded_len(),
             Msg::PageBatch(b) => b.encoded_len(),
-            Msg::PageIdHint { pages } => 16 + pages.len() * 12,
-            Msg::DiscardAbove { versions } => 16 + versions.len() * 8,
-            Msg::Topology { replicas, .. } => 24 + replicas.len() * 4,
+            Msg::PageIdHint { pages } => 4 + pages.len() * 8,
+            Msg::DiscardAbove { versions } => versions.encoded_len(),
+            Msg::Topology { master, replicas } => master.encoded_len() + 4 + replicas.len() * 4,
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::WriteSet(ws) => {
+                out.push(tag::WRITE_SET);
+                ws.encode_into(out);
+            }
+            Msg::WriteSetAck { txn } => {
+                out.push(tag::WRITE_SET_ACK);
+                txn.encode_into(out);
+            }
+            Msg::PageBatch(b) => {
+                out.push(tag::PAGE_BATCH);
+                b.encode_into(out);
+            }
+            Msg::PageIdHint { pages } => {
+                out.push(tag::PAGE_ID_HINT);
+                put_u32(out, pages.len() as u32);
+                for p in pages {
+                    p.encode_into(out);
+                }
+            }
+            Msg::DiscardAbove { versions } => {
+                out.push(tag::DISCARD_ABOVE);
+                versions.encode_into(out);
+            }
+            Msg::Topology { master, replicas } => {
+                out.push(tag::TOPOLOGY);
+                master.encode_into(out);
+                put_u32(out, replicas.len() as u32);
+                for n in replicas {
+                    n.encode_into(out);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
+        match r.u8()? {
+            tag::WRITE_SET => Ok(Msg::WriteSet(Arc::new(WriteSet::decode(r)?))),
+            tag::WRITE_SET_ACK => Ok(Msg::WriteSetAck { txn: TxnId::decode(r)? }),
+            tag::PAGE_BATCH => Ok(Msg::PageBatch(PageBatch::decode(r)?)),
+            tag::PAGE_ID_HINT => {
+                let count = r.u32()? as usize;
+                let n = r.seq_len(count, 8)?;
+                let mut pages = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pages.push(PageId::decode(r)?);
+                }
+                Ok(Msg::PageIdHint { pages })
+            }
+            tag::DISCARD_ABOVE => Ok(Msg::DiscardAbove { versions: VersionVector::decode(r)? }),
+            tag::TOPOLOGY => {
+                let master = NodeId::decode(r)?;
+                let count = r.u32()? as usize;
+                let n = r.seq_len(count, 4)?;
+                let mut replicas = Vec::with_capacity(n);
+                for _ in 0..n {
+                    replicas.push(NodeId::decode(r)?);
+                }
+                Ok(Msg::Topology { master, replicas })
+            }
+            t => Err(DmvError::Codec(format!("unknown message tag {t}"))),
         }
     }
 }
@@ -100,18 +245,55 @@ impl Msg {
 mod tests {
     use super::*;
     use dmv_common::ids::TableId;
-    use dmv_pagestore::PAGE_SIZE;
+    use dmv_common::wire::decode_exact;
+
+    fn sample_writeset(seq: u64, fill: u8) -> WriteSet {
+        let before = vec![0u8; PAGE_SIZE];
+        let mut after = before.clone();
+        after[0..100].fill(fill);
+        WriteSet {
+            txn: TxnId::new(NodeId(0), seq),
+            versions: VersionVector::from_entries(vec![seq, 0]),
+            pages: vec![(PageId::heap(TableId(0), 0), PageDiff::compute(&before, &after))],
+        }
+    }
+
+    /// Every `Msg` variant — the satellite's shapes.
+    fn all_variants() -> Vec<Msg> {
+        vec![
+            Msg::WriteSet(Arc::new(sample_writeset(1, 7))),
+            Msg::WriteSetAck { txn: TxnId::new(NodeId(1), 1) },
+            Msg::PageBatch(PageBatch {
+                pages: vec![(PageId::index(TableId(2), 1, 5), 9, vec![3u8; PAGE_SIZE])],
+                done: true,
+            }),
+            Msg::PageBatch(PageBatch { pages: vec![], done: false }),
+            Msg::PageIdHint { pages: vec![PageId::heap(TableId(0), 0)] },
+            Msg::PageIdHint { pages: vec![] },
+            Msg::DiscardAbove { versions: VersionVector::from_entries(vec![4, 0, 2]) },
+            Msg::Topology { master: NodeId(0), replicas: vec![NodeId(1), NodeId(10)] },
+        ]
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_all_variants() {
+        for m in all_variants() {
+            assert_eq!(m.encode().len(), m.encoded_len(), "encoded_len drift for {m:?}");
+        }
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        for m in all_variants() {
+            let bytes = m.encode();
+            assert_eq!(decode_exact::<Msg>(&bytes).unwrap(), m);
+        }
+    }
 
     #[test]
     fn writeset_size_tracks_payload() {
+        let small = sample_writeset(1, 7);
         let before = vec![0u8; PAGE_SIZE];
-        let mut after = before.clone();
-        after[0..100].fill(7);
-        let small = WriteSet {
-            txn: TxnId::new(NodeId(0), 1),
-            versions: VersionVector::new(2),
-            pages: vec![(PageId::heap(TableId(0), 0), PageDiff::compute(&before, &after))],
-        };
         let mut big_after = before.clone();
         big_after.fill(9);
         let big = WriteSet {
@@ -125,14 +307,29 @@ mod tests {
 
     #[test]
     fn msg_sizes_nonzero() {
-        let msgs = vec![
-            Msg::WriteSetAck { txn: TxnId::new(NodeId(1), 1) },
-            Msg::PageIdHint { pages: vec![PageId::heap(TableId(0), 0)] },
-            Msg::DiscardAbove { versions: VersionVector::new(3) },
-            Msg::Topology { master: NodeId(0), replicas: vec![NodeId(1)] },
-        ];
-        for m in msgs {
+        for m in all_variants() {
             assert!(m.encoded_len() > 0);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(decode_exact::<Msg>(&[200]), Err(DmvError::Codec(_))));
+    }
+
+    #[test]
+    fn wrong_page_image_size_rejected() {
+        let bad =
+            PageBatch { pages: vec![(PageId::heap(TableId(0), 0), 1, vec![0u8; 16])], done: false };
+        let bytes = bad.encode();
+        assert!(matches!(decode_exact::<PageBatch>(&bytes), Err(DmvError::Codec(_))));
+    }
+
+    #[test]
+    fn truncated_message_never_panics() {
+        let full = Msg::WriteSet(Arc::new(sample_writeset(3, 5))).encode();
+        for cut in 0..full.len() {
+            assert!(decode_exact::<Msg>(&full[..cut]).is_err(), "cut at {cut}");
         }
     }
 }

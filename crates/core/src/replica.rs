@@ -12,9 +12,9 @@ use dmv_common::error::{DmvError, DmvResult};
 use dmv_common::ids::{NodeId, PageId, ReplicaRole, TxnId};
 use dmv_common::version::VersionVector;
 use dmv_memdb::{MemDb, MemDbOptions};
+use dmv_net::{DynTransport, Endpoint};
 use dmv_pagestore::checkpoint::{fuzzy_checkpoint, CheckpointImage};
 use dmv_pagestore::store::Residency;
-use dmv_simnet::Network;
 use dmv_sql::exec::{execute, ResultSet, StatementRunner};
 use dmv_sql::query::Query;
 use dmv_sql::schema::Schema;
@@ -23,6 +23,7 @@ use dmv_sql::schema::Schema;
 use dmv_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use dmv_check::sync::{Condvar, Mutex, RwLock};
 use dmv_common::clock::wall_deadline;
+use dmv_common::wire::Wire;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
@@ -86,7 +87,7 @@ pub struct ReplicaNode {
     id: NodeId,
     db: Arc<MemDb>,
     applier: Arc<PendingApplier>,
-    net: Network<Msg>,
+    net: DynTransport<Msg>,
     clock: SimClock,
     role: RwLock<ReplicaRole>,
     alive: Arc<AtomicBool>,
@@ -112,13 +113,14 @@ pub struct ReplicaNode {
 }
 
 impl ReplicaNode {
-    /// Creates a replica, registers it on the network and starts its
-    /// receiver thread.
+    /// Creates a replica, registers it on the transport and starts its
+    /// receiver thread. Any [`dmv_net::Transport`] works: the simulated
+    /// fabric for experiments, real TCP for multi-process deployments.
     pub fn start(
         id: NodeId,
         schema: Schema,
         role: ReplicaRole,
-        net: Network<Msg>,
+        net: DynTransport<Msg>,
         cfg: ReplicaConfig,
     ) -> Arc<Self> {
         let residency = Residency::new(cfg.clock, cfg.fault_latency);
@@ -140,7 +142,7 @@ impl ReplicaNode {
             id,
             db,
             applier,
-            net: net.clone(),
+            net: Arc::clone(&net),
             clock: cfg.clock,
             role: RwLock::new(role),
             alive: Arc::new(AtomicBool::new(true)),
@@ -168,7 +170,7 @@ impl ReplicaNode {
                         break;
                     }
                     match endpoint.recv_timeout(Duration::from_millis(20)) {
-                        Ok(env) => node.handle_msg(env.from, env.msg, &endpoint),
+                        Ok(env) => node.handle_msg(env.from, env.msg, &*endpoint),
                         Err(DmvError::NodeFailed(_)) => break,
                         Err(_) => {} // timeout: loop
                     }
@@ -180,7 +182,7 @@ impl ReplicaNode {
         node
     }
 
-    fn handle_msg(&self, from: NodeId, msg: Msg, endpoint: &dmv_simnet::Endpoint<Msg>) {
+    fn handle_msg(&self, from: NodeId, msg: Msg, endpoint: &dyn Endpoint<Msg>) {
         match msg {
             Msg::WriteSet(ws) => {
                 let txn = ws.txn;
@@ -348,11 +350,12 @@ impl ReplicaNode {
         let targets_now = self.targets.read().clone();
         let bcast_guard = self.bcast.lock();
         drop(seq_guard);
-        let size = ws.encoded_len();
-        for r in &targets_now {
-            // A dead target is skipped; reconfiguration handles it.
-            let _ = self.net.send_external(self.id, *r, Msg::WriteSet(Arc::clone(&ws)), size);
-        }
+        // One fan-out call: the transport encodes once and shares the
+        // bytes across links; a dead target is skipped (reconfiguration
+        // handles it).
+        let msg = Msg::WriteSet(Arc::clone(&ws));
+        let size = msg.encoded_len();
+        self.net.broadcast(self.id, &targets_now, &msg, size);
         drop(bcast_guard);
         self.wait_for_acks(ws.txn, &targets_now);
         if !self.is_alive() {

@@ -19,8 +19,9 @@ use dmv_common::error::{DmvError, DmvResult};
 use dmv_common::ids::{NodeId, TableId};
 use dmv_common::stats::TxnStats;
 use dmv_common::version::{AtomicVersionVector, VersionVector};
+use dmv_common::wire::Wire;
+use dmv_net::DynTransport;
 use dmv_ondisk::DiskDb;
-use dmv_simnet::Network;
 use dmv_sql::exec::{RecordingRunner, ResultSet, StatementRunner};
 use dmv_sql::query::Query;
 // Shimmed primitives: parking_lot/std in normal builds, model-checked
@@ -137,7 +138,7 @@ pub struct Scheduler {
     latest: AtomicVersionVector,
     slave_loads: RwLock<HashMap<NodeId, Arc<SlaveLoad>>>,
     cfg: SchedulerConfig,
-    net: Network<Msg>,
+    net: DynTransport<Msg>,
     /// Aggregate transaction statistics for this scheduler.
     pub stats: Arc<TxnStats>,
     read_counter: AtomicU64,
@@ -155,7 +156,7 @@ impl Scheduler {
         n_tables: usize,
         topo: Topology,
         backends: Vec<Arc<DiskDb>>,
-        net: Network<Msg>,
+        net: DynTransport<Msg>,
         cfg: SchedulerConfig,
     ) -> Arc<Self> {
         let sched = Arc::new(Scheduler {
@@ -466,7 +467,7 @@ impl Scheduler {
         for spare in topo.spares.iter().filter(|s| s.is_alive()) {
             let msg = Msg::PageIdHint { pages: pages.clone() };
             let size = msg.encoded_len();
-            let _ = self.net.send_external(active.id(), spare.id(), msg, size);
+            let _ = self.net.send_from(active.id(), spare.id(), msg, size);
         }
     }
 

@@ -1,0 +1,309 @@
+//! The TCP frame format and connection handshake.
+//!
+//! Every frame on the wire is:
+//!
+//! ```text
+//! ┌────────────┬──────┬───────────────┬────────────┐
+//! │ len: u32 LE│ kind │    payload    │ crc: u32 LE│
+//! │ = 1 + |pl| │  u8  │  len-1 bytes  │ over kind+ │
+//! │            │      │               │  payload   │
+//! └────────────┴──────┴───────────────┴────────────┘
+//! ```
+//!
+//! The first frame in each direction of a connection is a [`Hello`]
+//! carrying a magic number, the protocol version and a feature-bits
+//! word; a receiver rejects connections whose magic or version it does
+//! not support (unknown feature bits are ignored, so features can be
+//! added compatibly). After the handshake the link carries `Data`
+//! frames (a [`dmv_common::wire`]-encoded message), `Heartbeat` frames
+//! on idle links, and a final `Bye` on clean teardown.
+//!
+//! Decoding is total: truncation, checksum mismatch, oversized lengths
+//! and unknown kinds all surface as [`DmvError::Codec`], never a panic.
+
+use dmv_common::error::{DmvError, DmvResult};
+use dmv_common::ids::NodeId;
+use dmv_common::wire::{put_u16, put_u32, put_u64, Reader};
+
+/// Protocol magic: `"DMV1"` as a little-endian u32.
+pub const MAGIC: u32 = 0x3156_4D44;
+
+/// Wire protocol version this build speaks.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Feature bit: the sender emits heartbeat frames on idle links.
+pub const FEAT_HEARTBEAT: u64 = 1;
+
+/// Upper bound on a frame body; anything larger is a corrupt or hostile
+/// length prefix (the biggest legitimate message, a migration page
+/// batch, stays far below this).
+pub const MAX_FRAME: usize = 32 * 1024 * 1024;
+
+/// Bytes of the `len` prefix.
+pub const LEN_PREFIX: usize = 4;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Handshake (first frame in each direction).
+    Hello,
+    /// One wire-encoded message.
+    Data,
+    /// Keep-alive on an idle link; carries no payload.
+    Heartbeat,
+    /// Clean end-of-stream notice.
+    Bye,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Hello => 0,
+            FrameKind::Data => 1,
+            FrameKind::Heartbeat => 2,
+            FrameKind::Bye => 3,
+        }
+    }
+
+    fn from_u8(b: u8) -> DmvResult<Self> {
+        match b {
+            0 => Ok(FrameKind::Hello),
+            1 => Ok(FrameKind::Data),
+            2 => Ok(FrameKind::Heartbeat),
+            3 => Ok(FrameKind::Bye),
+            k => Err(DmvError::Codec(format!("unknown frame kind {k}"))),
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Total wire size of a frame carrying `payload_len` payload bytes.
+pub fn frame_len(payload_len: usize) -> usize {
+    LEN_PREFIX + 1 + payload_len + 4
+}
+
+/// Encodes one complete frame (length prefix included).
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(frame_len(payload.len()));
+    put_u32(&mut out, (1 + payload.len()) as u32);
+    out.push(kind.to_u8());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[LEN_PREFIX..]);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Validates a length prefix read off the stream and returns how many
+/// body bytes (kind + payload + crc) follow it.
+pub fn body_len(len_prefix: u32) -> DmvResult<usize> {
+    let len = len_prefix as usize;
+    if len == 0 {
+        return Err(DmvError::Codec("zero-length frame".into()));
+    }
+    if len > MAX_FRAME {
+        return Err(DmvError::Codec(format!("frame of {len} bytes exceeds cap {MAX_FRAME}")));
+    }
+    Ok(len + 4)
+}
+
+/// Parses a frame body (everything after the length prefix), verifying
+/// the checksum, and returns the kind and payload.
+pub fn parse_body(body: &[u8]) -> DmvResult<(FrameKind, &[u8])> {
+    if body.len() < 5 {
+        return Err(DmvError::Codec(format!("truncated frame body of {} bytes", body.len())));
+    }
+    let (content, crc_bytes) = body.split_at(body.len() - 4);
+    let got = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    let want = crc32(content);
+    if got != want {
+        return Err(DmvError::Codec(format!(
+            "frame checksum mismatch: got {got:#x}, want {want:#x}"
+        )));
+    }
+    Ok((FrameKind::from_u8(content[0])?, &content[1..]))
+}
+
+/// Decodes one complete frame from `buf` (length prefix included),
+/// rejecting trailing bytes. The streaming path reads the prefix and
+/// body separately; this form is for tests and single-frame buffers.
+pub fn decode_frame(buf: &[u8]) -> DmvResult<(FrameKind, Vec<u8>)> {
+    if buf.len() < LEN_PREFIX {
+        return Err(DmvError::Codec(format!("truncated frame: {} bytes", buf.len())));
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    let body = body_len(len)?;
+    let rest = &buf[LEN_PREFIX..];
+    if rest.len() < body {
+        return Err(DmvError::Codec(format!(
+            "truncated frame: body needs {body} bytes, have {}",
+            rest.len()
+        )));
+    }
+    if rest.len() > body {
+        return Err(DmvError::Codec(format!("{} trailing bytes after frame", rest.len() - body)));
+    }
+    let (kind, payload) = parse_body(rest)?;
+    Ok((kind, payload.to_vec()))
+}
+
+/// The handshake payload each side sends as its first frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Protocol version the sender speaks.
+    pub proto_version: u16,
+    /// Feature bits the sender enables; unknown bits are ignored.
+    pub feature_bits: u64,
+    /// Sending node.
+    pub from: NodeId,
+    /// Node the sender believes it is talking to.
+    pub to: NodeId,
+}
+
+impl Hello {
+    /// Handshake for a connection `from → to` with this build's
+    /// version and features.
+    pub fn new(from: NodeId, to: NodeId) -> Self {
+        Hello { proto_version: PROTO_VERSION, feature_bits: FEAT_HEARTBEAT, from, to }
+    }
+
+    /// Encodes the handshake payload (goes inside a `Hello` frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(22);
+        put_u32(&mut out, MAGIC);
+        put_u16(&mut out, self.proto_version);
+        put_u64(&mut out, self.feature_bits);
+        put_u32(&mut out, self.from.0);
+        put_u32(&mut out, self.to.0);
+        out
+    }
+
+    /// Decodes and validates a handshake payload: magic must match and
+    /// the version must be one this build supports.
+    pub fn decode(payload: &[u8]) -> DmvResult<Self> {
+        let mut r = Reader::new(payload);
+        let magic = r.u32()?;
+        if magic != MAGIC {
+            return Err(DmvError::Codec(format!("bad protocol magic {magic:#010x}")));
+        }
+        let proto_version = r.u16()?;
+        if proto_version != PROTO_VERSION {
+            return Err(DmvError::Codec(format!(
+                "unsupported protocol version {proto_version} (this build speaks {PROTO_VERSION})"
+            )));
+        }
+        let feature_bits = r.u64()?;
+        let from = NodeId(r.u32()?);
+        let to = NodeId(r.u32()?);
+        if r.remaining() != 0 {
+            return Err(DmvError::Codec(format!("{} trailing bytes after hello", r.remaining())));
+        }
+        Ok(Hello { proto_version, feature_bits, from, to })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_all_kinds() {
+        for kind in [FrameKind::Hello, FrameKind::Data, FrameKind::Heartbeat, FrameKind::Bye] {
+            let bytes = encode_frame(kind, b"payload");
+            assert_eq!(bytes.len(), frame_len(7));
+            let (k, p) = decode_frame(&bytes).unwrap();
+            assert_eq!(k, kind);
+            assert_eq!(p, b"payload");
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_an_error() {
+        let full = encode_frame(FrameKind::Data, b"some payload bytes");
+        for cut in 0..full.len() {
+            assert!(decode_frame(&full[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let full = encode_frame(FrameKind::Data, b"checksummed");
+        for i in 0..full.len() {
+            let mut corrupt = full.clone();
+            corrupt[i] ^= 0x40;
+            assert!(decode_frame(&corrupt).is_err(), "flip at byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut bytes = encode_frame(FrameKind::Data, b"x");
+        bytes[0..4].copy_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), Err(DmvError::Codec(_))));
+        assert!(body_len(0).is_err());
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let h = Hello::new(NodeId(3), NodeId(10));
+        let back = Hello::decode(&h.encode()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.proto_version, PROTO_VERSION);
+        assert_ne!(back.feature_bits & FEAT_HEARTBEAT, 0);
+    }
+
+    #[test]
+    fn hello_bad_magic_rejected() {
+        let mut p = Hello::new(NodeId(0), NodeId(1)).encode();
+        p[0] ^= 0xFF;
+        let err = Hello::decode(&p).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn hello_unknown_version_rejected() {
+        let mut p = Hello::new(NodeId(0), NodeId(1)).encode();
+        p[4..6].copy_from_slice(&99u16.to_le_bytes());
+        let err = Hello::decode(&p).unwrap_err();
+        assert!(matches!(err, DmvError::Codec(_)));
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn hello_unknown_feature_bits_ignored() {
+        let mut h = Hello::new(NodeId(0), NodeId(1));
+        h.feature_bits |= 1 << 63;
+        assert_eq!(Hello::decode(&h.encode()).unwrap(), h);
+    }
+}

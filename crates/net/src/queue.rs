@@ -1,0 +1,201 @@
+//! A bounded MPMC queue for per-link outbound frames.
+//!
+//! The vendored crossbeam shim only provides unbounded channels, and an
+//! unbounded outbound queue would let a master outrun a slow link
+//! without ever feeling backpressure. This queue blocks producers (up
+//! to a deadline) once `cap` frames are waiting, which is exactly the
+//! throttle a full kernel socket buffer applies to a real sender.
+//!
+//! Built on the `dmv_check::sync` shims, so the push/pop/close protocol
+//! is explorable by the model checker like the other hot-path
+//! primitives.
+
+use dmv_check::sync::{Condvar, Mutex};
+use dmv_common::clock::WallInstant;
+use std::collections::VecDeque;
+
+/// Why a push did not enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue stayed full until the deadline (backpressure).
+    Full,
+    /// The queue was closed.
+    Closed,
+}
+
+/// Outcome of a pop.
+#[derive(Debug)]
+pub enum Pop<T> {
+    /// The next item, FIFO.
+    Item(T),
+    /// Nothing arrived before the deadline.
+    Timeout,
+    /// Closed and drained.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded FIFO with blocking, deadline-bounded push and pop.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `cap` items (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full until
+    /// `deadline`.
+    pub fn push_deadline(&self, item: T, deadline: WallInstant) -> Result<(), PushError> {
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return Err(PushError::Closed);
+            }
+            if st.items.len() < self.cap {
+                st.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            if self.not_full.wait_until(&mut st, deadline).timed_out() {
+                return Err(if st.closed { PushError::Closed } else { PushError::Full });
+            }
+        }
+    }
+
+    /// Dequeues the next item, blocking until `deadline`. A closed
+    /// queue drains remaining items before reporting [`Pop::Closed`].
+    pub fn pop_deadline(&self, deadline: WallInstant) -> Pop<T> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                self.not_full.notify_one();
+                return Pop::Item(item);
+            }
+            if st.closed {
+                return Pop::Closed;
+            }
+            if self.not_empty.wait_until(&mut st, deadline).timed_out() {
+                return Pop::Timeout;
+            }
+        }
+    }
+
+    /// Closes the queue: pending and future pushes fail, pops drain
+    /// what is left and then report closure. Wakes all waiters.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmv_common::clock::wall_deadline;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn soon() -> WallInstant {
+        wall_deadline(Duration::from_millis(50))
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push_deadline(i, soon()).unwrap();
+        }
+        for i in 0..5 {
+            match q.pop_deadline(soon()) {
+                Pop::Item(v) => assert_eq!(v, i),
+                other => panic!("expected item, got {other:?}"),
+            }
+        }
+        assert!(matches!(q.pop_deadline(wall_deadline(Duration::ZERO)), Pop::Timeout));
+    }
+
+    #[test]
+    fn full_queue_times_out_then_drains() {
+        let q = BoundedQueue::new(2);
+        q.push_deadline(1, soon()).unwrap();
+        q.push_deadline(2, soon()).unwrap();
+        assert_eq!(
+            q.push_deadline(3, wall_deadline(Duration::from_millis(5))),
+            Err(PushError::Full)
+        );
+        assert!(matches!(q.pop_deadline(soon()), Pop::Item(1)));
+        q.push_deadline(3, soon()).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_unblocks_producer_and_drains_consumer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_deadline(7, soon()).unwrap();
+        let q2 = Arc::clone(&q);
+        let blocked =
+            std::thread::spawn(move || q2.push_deadline(8, wall_deadline(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(blocked.join().unwrap(), Err(PushError::Closed));
+        assert!(matches!(q.pop_deadline(soon()), Pop::Item(7)));
+        assert!(matches!(q.pop_deadline(soon()), Pop::Closed));
+        assert_eq!(q.push_deadline(9, soon()), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn backpressure_hands_off_under_contention() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..500 {
+                    q.push_deadline(i, wall_deadline(Duration::from_secs(10))).unwrap();
+                }
+            })
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while got.len() < 500 {
+                    match q.pop_deadline(wall_deadline(Duration::from_secs(10))) {
+                        Pop::Item(v) => got.push(v),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                got
+            })
+        };
+        producer.join().unwrap();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..500).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,106 @@
+//! [`SimnetTransport`]: the in-process simulated network presented
+//! through the [`Transport`] trait, semantics unchanged — latency
+//! injection, sender-side serialization charge, partitions and node
+//! kill all behave exactly as `dmv_simnet::Network` always has.
+
+use crate::transport::{Endpoint, Envelope, Transport};
+use dmv_common::clock::SimClock;
+use dmv_common::config::NetProfile;
+use dmv_common::error::DmvResult;
+use dmv_common::ids::NodeId;
+use dmv_simnet::Network;
+use std::time::Duration;
+
+/// Adapter over [`dmv_simnet::Network`]. Cheap to clone (shared state).
+pub struct SimnetTransport<M> {
+    net: Network<M>,
+}
+
+impl<M> Clone for SimnetTransport<M> {
+    fn clone(&self) -> Self {
+        SimnetTransport { net: self.net.clone() }
+    }
+}
+
+impl<M: Send + 'static> SimnetTransport<M> {
+    /// Creates a simulated network with the given latency profile and
+    /// clock.
+    pub fn new(profile: NetProfile, clock: SimClock) -> Self {
+        SimnetTransport { net: Network::new(profile, clock) }
+    }
+
+    /// A zero-latency simulated network for pure-logic tests.
+    pub fn zero() -> Self {
+        SimnetTransport { net: Network::zero() }
+    }
+
+    /// Wraps an existing simnet fabric.
+    pub fn from_network(net: Network<M>) -> Self {
+        SimnetTransport { net }
+    }
+
+    /// The underlying simnet fabric, for tests that poke it directly.
+    pub fn network(&self) -> &Network<M> {
+        &self.net
+    }
+}
+
+struct SimEndpoint<M> {
+    ep: dmv_simnet::Endpoint<M>,
+}
+
+impl<M: Send + 'static> Endpoint<M> for SimEndpoint<M> {
+    fn node(&self) -> NodeId {
+        self.ep.node()
+    }
+
+    fn is_alive(&self) -> bool {
+        self.ep.is_alive()
+    }
+
+    fn send(&self, to: NodeId, msg: M, size: usize) -> DmvResult<()> {
+        self.ep.send(to, msg, size)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> DmvResult<Envelope<M>> {
+        self.ep.recv_timeout(timeout).map(|env| Envelope { from: env.from, msg: env.msg })
+    }
+
+    fn try_recv(&self) -> Option<Envelope<M>> {
+        self.ep.try_recv().map(|env| Envelope { from: env.from, msg: env.msg })
+    }
+}
+
+impl<M: Clone + Send + 'static> Transport<M> for SimnetTransport<M> {
+    fn register(&self, node: NodeId) -> Box<dyn Endpoint<M>> {
+        Box::new(SimEndpoint { ep: self.net.register(node) })
+    }
+
+    fn kill(&self, node: NodeId) {
+        self.net.kill(node);
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.net.is_alive(node)
+    }
+
+    fn partition(&self, a: NodeId, b: NodeId) {
+        self.net.partition(a, b);
+    }
+
+    fn heal(&self, a: NodeId, b: NodeId) {
+        self.net.heal(a, b);
+    }
+
+    fn send_from(&self, from: NodeId, to: NodeId, msg: M, size: usize) -> DmvResult<()> {
+        self.net.send_external(from, to, msg, size)
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.net.messages_sent()
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.net.bytes_sent()
+    }
+}

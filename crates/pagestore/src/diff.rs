@@ -7,6 +7,8 @@
 //! are coalesced to amortize per-run overhead.
 
 use crate::page::PAGE_SIZE;
+use dmv_common::error::{DmvError, DmvResult};
+use dmv_common::wire::{put_u16, Reader, Wire};
 use serde::{Deserialize, Serialize};
 
 /// Unchanged-byte gaps up to this length are swallowed into one run.
@@ -15,8 +17,11 @@ const MERGE_GAP: usize = 8;
 /// Word width of the fast comparison path in [`PageDiff::compute`].
 const WORD: usize = 8;
 
-/// Per-run overhead assumed by [`PageDiff::encoded_len`] (offset + length).
+/// Per-run wire overhead (`u16` offset + `u16` length).
 const RUN_HEADER: usize = 4;
+
+/// Wire overhead of the diff itself (`u16` run count).
+const DIFF_HEADER: usize = 2;
 
 /// A single contiguous run of modified bytes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -166,15 +171,76 @@ impl PageDiff {
         self.runs.iter().map(|r| r.bytes.len()).sum()
     }
 
-    /// Approximate wire size: payload plus per-run header overhead. Used
-    /// to charge network transfer cost for write-set messages.
+    /// Exact wire size: run-count header, then per-run header plus
+    /// payload. Matches [`Wire::encode`] byte for byte, so network
+    /// transfer cost is charged on the real frame size.
     pub fn encoded_len(&self) -> usize {
-        self.payload_len() + RUN_HEADER * self.runs.len()
+        DIFF_HEADER + self.payload_len() + RUN_HEADER * self.runs.len()
     }
 
     /// The runs, for inspection.
     pub fn runs(&self) -> &[DiffRun] {
         &self.runs
+    }
+
+    /// Builds a diff from explicit runs, validating that every run stays
+    /// inside a page — the boundary [`apply`](Self::apply) would
+    /// otherwise panic on. This is the only way untrusted (decoded) runs
+    /// enter a `PageDiff`.
+    pub fn from_runs(runs: Vec<DiffRun>) -> DmvResult<Self> {
+        for run in &runs {
+            let end = run.offset as usize + run.bytes.len();
+            if end > PAGE_SIZE {
+                return Err(DmvError::Codec(format!(
+                    "diff run at offset {} with {} bytes exceeds page size {PAGE_SIZE}",
+                    run.offset,
+                    run.bytes.len()
+                )));
+            }
+        }
+        Ok(PageDiff { runs })
+    }
+}
+
+impl Wire for DiffRun {
+    fn encoded_len(&self) -> usize {
+        RUN_HEADER + self.bytes.len()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u16(out, self.offset);
+        // A run never exceeds PAGE_SIZE bytes, so its length fits u16.
+        put_u16(out, self.bytes.len() as u16);
+        out.extend_from_slice(&self.bytes);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
+        let offset = r.u16()?;
+        let len = r.u16()? as usize;
+        Ok(DiffRun { offset, bytes: r.bytes(len)?.to_vec() })
+    }
+}
+
+impl Wire for PageDiff {
+    fn encoded_len(&self) -> usize {
+        PageDiff::encoded_len(self)
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u16(out, self.runs.len() as u16);
+        for run in &self.runs {
+            run.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
+        let count = r.u16()? as usize;
+        let n = r.seq_len(count, RUN_HEADER)?;
+        let mut runs = Vec::with_capacity(n);
+        for _ in 0..n {
+            runs.push(DiffRun::decode(r)?);
+        }
+        PageDiff::from_runs(runs)
     }
 }
 
@@ -226,7 +292,32 @@ mod tests {
         let a = page_with(&[(5, 1)]);
         let d = PageDiff::compute(&a, &a);
         assert!(d.is_empty());
-        assert_eq!(d.encoded_len(), 0);
+        // Even an empty diff carries its run-count header on the wire.
+        assert_eq!(d.encoded_len(), 2);
+        assert_eq!(Wire::encode(&d).len(), 2);
+    }
+
+    #[test]
+    fn wire_roundtrip_and_exact_len() {
+        let before = page_with(&[]);
+        let after = page_with(&[(0, 9), (100, 1), (104, 2), (4000, 3)]);
+        for d in [PageDiff::compute(&before, &after), PageDiff::full(&after), PageDiff::default()] {
+            let bytes = Wire::encode(&d);
+            assert_eq!(bytes.len(), d.encoded_len());
+            assert_eq!(dmv_common::wire::decode_exact::<PageDiff>(&bytes).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_run_rejected_at_decode() {
+        // A run that would write past the page must be caught at decode
+        // time (apply panics on such runs by design).
+        let evil = DiffRun { offset: (PAGE_SIZE - 1) as u16, bytes: vec![0; 2] };
+        assert!(PageDiff::from_runs(vec![evil.clone()]).is_err());
+        let mut bytes = Vec::new();
+        put_u16(&mut bytes, 1);
+        evil.encode_into(&mut bytes);
+        assert!(dmv_common::wire::decode_exact::<PageDiff>(&bytes).is_err());
     }
 
     #[test]

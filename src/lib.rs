@@ -22,6 +22,7 @@
 pub use dmv_common as common;
 pub use dmv_core as core;
 pub use dmv_memdb as memdb;
+pub use dmv_net as net;
 pub use dmv_ondisk as ondisk;
 pub use dmv_pagestore as pagestore;
 pub use dmv_simnet as simnet;

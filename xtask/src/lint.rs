@@ -22,6 +22,10 @@
 //! * **no-unwrap** — no `.unwrap()` / `.expect(` in non-test code of
 //!   core/memdb/pagestore; `// unwrap-ok: <why>` documents the
 //!   invariant where a panic truly cannot fire.
+//! * **wire-boundary** — raw sockets (`std::net`, `TcpStream`,
+//!   `TcpListener`, `UdpSocket`) only inside `crates/net/`. Everything
+//!   else talks through the `Transport` trait, so cluster code stays
+//!   runnable on simnet and real TCP alike.
 //! * **lock-order** — nested lock acquisitions must agree with the
 //!   hierarchy declared in `xtask/lock_order.toml`. The scanner tracks
 //!   `let g = x.lock()` / `drop(g)` / scope exit per function, so only
@@ -33,8 +37,9 @@
 //! modules at the bottom of the file).
 //!
 //! Escape hatches (`relaxed-ok:`, `wall-clock-ok:`, `rng-ok:`,
-//! `unwrap-ok:`, `lock-order-ok:`) take effect on the violating line or
-//! the line directly above it, and are themselves grep-able audit
+//! `unwrap-ok:`, `wire-boundary-ok:`, `lock-order-ok:`) take effect on
+//! the violating line or the line directly above it, and are themselves
+//! grep-able audit
 //! points.
 
 use std::fmt;
@@ -52,6 +57,15 @@ const HOTPATH_CRATES: &[&str] = &["crates/core/", "crates/common/", "crates/page
 
 /// Crates whose non-test code must not panic via unwrap/expect.
 const NO_UNWRAP_CRATES: &[&str] = &["crates/core/", "crates/memdb/", "crates/pagestore/"];
+
+/// The one crate allowed to open raw sockets; everyone else goes
+/// through the `Transport` trait.
+const WIRE_BOUNDARY_ALLOWED_PREFIX: &str = "crates/net/";
+
+/// Socket type names that mark a wire-boundary violation outside
+/// `crates/net/` (matched as whole words; `std::net` is matched as a
+/// path substring).
+const SOCKET_TYPES: &[&str] = &["TcpStream", "TcpListener", "UdpSocket"];
 
 #[derive(Debug)]
 struct Violation {
@@ -223,6 +237,7 @@ fn lint_file(rel: &str, text: &str, order: &LockOrder, out: &mut Vec<Violation>)
     let no_unwrap = NO_UNWRAP_CRATES.iter().any(|c| rel.starts_with(c));
     let wall_allowed = WALL_CLOCK_ALLOWED.contains(&rel);
     let rng_allowed = RNG_ALLOWED.contains(&rel);
+    let sockets_allowed = rel.starts_with(WIRE_BOUNDARY_ALLOWED_PREFIX);
 
     let mut push = |line: usize, rule: &'static str, message: String| {
         out.push(Violation { file: rel.to_string(), line: line + 1, rule, message });
@@ -259,6 +274,19 @@ fn lint_file(rel: &str, text: &str, order: &LockOrder, out: &mut Vec<Violation>)
                 "rng-sources",
                 "ambient randomness outside rng.rs — derive a seeded stream \
                  via dmv_common::rng so runs stay reproducible"
+                    .to_string(),
+            );
+        }
+        if !sockets_allowed
+            && (l.code.contains("std::net")
+                || SOCKET_TYPES.iter().any(|t| contains_word(l.code, t)))
+            && !escaped(&lines, i, "wire-boundary-ok:")
+        {
+            push(
+                i,
+                "wire-boundary",
+                "raw socket use outside crates/net — go through the \
+                 dmv_net::Transport trait so the code runs on simnet too"
                     .to_string(),
             );
         }

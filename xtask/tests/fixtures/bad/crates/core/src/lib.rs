@@ -3,6 +3,7 @@
 
 use std::sync::Mutex;
 use std::time::Instant;
+use std::net::TcpStream;
 
 fn relaxed_without_justification(counter: &std::sync::atomic::AtomicU64) -> u64 {
     counter.load(std::sync::atomic::Ordering::Relaxed)

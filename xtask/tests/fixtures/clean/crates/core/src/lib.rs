@@ -23,6 +23,11 @@ fn documented_invariant(v: Option<u64>) -> u64 {
     v.unwrap()
 }
 
+fn parse_peer(addr: &str) -> bool {
+    // wire-boundary-ok: address parsing only; sockets stay in crates/net
+    addr.parse::<std::net::SocketAddr>().is_ok()
+}
+
 fn correct_lock_order(state: &State) {
     let seq_guard = state.commit_seq.lock();
     let bcast_guard = state.bcast.lock();

@@ -17,9 +17,15 @@ fn bad_fixture_trips_every_rule() {
     let out = run_lint("bad");
     assert!(!out.status.success(), "lint must exit non-zero on the violation fixture");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    for rule in
-        ["relaxed-justify", "wall-clock", "rng-sources", "hotpath-locks", "no-unwrap", "lock-order"]
-    {
+    for rule in [
+        "relaxed-justify",
+        "wall-clock",
+        "rng-sources",
+        "hotpath-locks",
+        "no-unwrap",
+        "wire-boundary",
+        "lock-order",
+    ] {
         assert!(
             stderr.contains(&format!("[{rule}]")),
             "rule `{rule}` not reported; stderr:\n{stderr}"
@@ -32,7 +38,7 @@ fn bad_fixture_skips_test_code() {
     let out = run_lint("bad");
     let stderr = String::from_utf8_lossy(&out.stderr);
     // The #[cfg(test)] module at the bottom repeats the Instant and
-    // unwrap violations on lines 29+; none may be reported there.
+    // unwrap violations on lines 30+; none may be reported there.
     for line in stderr.lines().filter(|l| l.contains("crates/core/src/lib.rs")) {
         let lineno: usize = line
             .split(':')
