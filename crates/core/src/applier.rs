@@ -32,8 +32,9 @@
 //!   versions — enqueue skips the lock entirely while no one waits.
 
 use crate::messages::WriteSet;
+use crate::trace::{SharedTap, TraceEvent};
 use dmv_common::error::{DmvError, DmvResult};
-use dmv_common::ids::{PageId, PageSpace};
+use dmv_common::ids::{NodeId, PageId, PageSpace};
 use dmv_common::version::{AtomicVersionVector, VersionVector};
 use dmv_memdb::ReadGate;
 use dmv_pagestore::diff::PageDiff;
@@ -41,7 +42,7 @@ use dmv_pagestore::store::{PageCell, PageStore};
 // Shimmed primitives: parking_lot/std in normal builds, model-checked
 // under `--cfg dmv_check` (see crates/check).
 use dmv_check::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use dmv_check::sync::{Condvar, Mutex};
+use dmv_check::sync::{Condvar, Mutex, RwLock};
 use dmv_common::clock::wall_deadline;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -93,6 +94,8 @@ pub struct PendingApplier {
     wait_timeout: Duration,
     /// Write-sets enqueued (not yet necessarily materialized).
     enqueued_writesets: AtomicU64,
+    /// Optional history tap and the node id to attribute events to.
+    trace: RwLock<Option<(NodeId, SharedTap)>>,
 }
 
 impl PendingApplier {
@@ -107,6 +110,19 @@ impl PendingApplier {
             received_cv: Condvar::new(),
             wait_timeout,
             enqueued_writesets: AtomicU64::new(0),
+            trace: RwLock::new(None),
+        }
+    }
+
+    /// Installs a history tap attributing this applier's events to
+    /// `node`. Enqueue events fire on the replica's receiver thread.
+    pub fn set_trace(&self, node: NodeId, tap: SharedTap) {
+        *self.trace.write() = Some((node, tap));
+    }
+
+    fn emit(&self, f: impl FnOnce(NodeId) -> TraceEvent) {
+        if let Some((node, tap)) = self.trace.read().as_ref() {
+            tap.record(f(*node));
         }
     }
 
@@ -131,6 +147,11 @@ impl PendingApplier {
         self.received.merge(&ws.versions);
         self.notify_waiters();
         self.enqueued_writesets.fetch_add(1, Ordering::Relaxed); // relaxed-ok: diagnostics counter; stream order is carried by received + wait_lock
+        self.emit(|node| TraceEvent::WriteSetEnqueued {
+            node,
+            txn: ws.txn,
+            versions: ws.versions.clone(),
+        });
     }
 
     /// Wakes blocked readers, taking the wait lock only if any exist.
@@ -254,6 +275,7 @@ impl PendingApplier {
             }
         }
         self.received.clamp(versions);
+        self.emit(|node| TraceEvent::DiscardedAbove { node, keep: versions.clone() });
     }
 
     /// Advances the received vector to (at least) `to` without any

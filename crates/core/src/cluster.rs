@@ -5,6 +5,7 @@
 use crate::messages::{Msg, PageBatch};
 use crate::replica::{ReplicaConfig, ReplicaNode};
 use crate::scheduler::{Scheduler, SchedulerConfig, Topology, WarmupStrategy};
+use crate::trace::SharedTap;
 use dmv_common::clock::{SimClock, TimeScale};
 use dmv_common::config::{CpuProfile, DiskProfile, NetProfile};
 use dmv_common::error::{DmvError, DmvResult};
@@ -141,6 +142,8 @@ pub struct DmvCluster {
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     ready: AtomicBool,
     next_node_id: Mutex<u32>,
+    /// History tap propagated to every present and future component.
+    trace_tap: Mutex<Option<SharedTap>>,
 }
 
 impl DmvCluster {
@@ -265,6 +268,7 @@ impl DmvCluster {
             threads: Mutex::new(Vec::new()),
             ready: AtomicBool::new(false),
             next_node_id: Mutex::new(80),
+            trace_tap: Mutex::new(None),
         })
     }
 
@@ -452,6 +456,24 @@ impl DmvCluster {
         self.replicas.read().get(&id).cloned()
     }
 
+    /// The primary scheduler's latest merged version vector (the tag the
+    /// next read would receive).
+    pub fn latest_version(&self) -> VersionVector {
+        self.schedulers[0].latest()
+    }
+
+    /// Installs a history tap on every scheduler and replica, including
+    /// nodes integrated later (deterministic simulation testing).
+    pub fn set_trace_tap(&self, tap: SharedTap) {
+        for s in &self.schedulers {
+            s.set_trace_tap(Arc::clone(&tap));
+        }
+        for r in self.replicas.read().values() {
+            r.set_trace_tap(Arc::clone(&tap));
+        }
+        *self.trace_tap.lock() = Some(tap);
+    }
+
     /// The current master of conflict class `class`.
     pub fn master(&self, class: usize) -> Arc<ReplicaNode> {
         Arc::clone(&self.schedulers[0].topology().masters[class])
@@ -545,6 +567,9 @@ impl DmvCluster {
             rc,
         );
         node.restore_from_checkpoint(&checkpoint);
+        if let Some(tap) = self.trace_tap.lock().as_ref() {
+            node.set_trace_tap(Arc::clone(tap));
+        }
         self.replicas.write().insert(id, Arc::clone(&node));
         self.integrate_node(node, checkpoint.page_versions())
     }
@@ -576,6 +601,9 @@ impl DmvCluster {
             Arc::clone(&self.net),
             rc,
         );
+        if let Some(tap) = self.trace_tap.lock().as_ref() {
+            node.set_trace_tap(Arc::clone(tap));
+        }
         self.replicas.write().insert(id, Arc::clone(&node));
         let report = self.integrate_node(node, HashMap::new())?;
         Ok((id, report))

@@ -47,9 +47,11 @@ pub mod cluster;
 pub mod messages;
 pub mod replica;
 pub mod scheduler;
+pub mod trace;
 
 pub use applier::PendingApplier;
 pub use cluster::{ClusterSpec, DmvCluster, MigrationReport, Session};
 pub use messages::{Msg, PageBatch, WriteSet};
 pub use replica::{ReplicaConfig, ReplicaNode};
 pub use scheduler::{Scheduler, SchedulerConfig, Topology, WarmupStrategy};
+pub use trace::{SharedTap, TraceEvent, TraceTap};

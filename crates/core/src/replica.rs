@@ -6,6 +6,7 @@
 
 use crate::applier::PendingApplier;
 use crate::messages::{Msg, PageBatch, WriteSet};
+use crate::trace::{SharedTap, TraceEvent};
 use dmv_common::clock::SimClock;
 use dmv_common::config::CpuProfile;
 use dmv_common::error::{DmvError, DmvResult};
@@ -110,6 +111,8 @@ pub struct ReplicaNode {
     /// Operation counters.
     pub stats: ReplicaStats,
     receiver: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Optional history tap (deterministic simulation testing).
+    tap: RwLock<Option<SharedTap>>,
 }
 
 impl ReplicaNode {
@@ -159,6 +162,7 @@ impl ReplicaNode {
             checkpoint: Mutex::new(CheckpointImage::empty()),
             stats: ReplicaStats::default(),
             receiver: Mutex::new(None),
+            tap: RwLock::new(None),
         });
         let endpoint = net.register(id);
         let weak = Arc::downgrade(&node);
@@ -221,9 +225,14 @@ impl ReplicaNode {
     fn apply_page_batch(&self, batch: &PageBatch) {
         let store = self.db.store();
         for (id, version, image) in &batch.pages {
+            // A page the joiner does not have at all must be installed
+            // even at version 0 (tables untouched since the initial
+            // load): a just-created cell is also at version 0, and the
+            // newer-than check alone would silently drop the image.
+            let absent = !store.contains(*id);
             let cell = store.get_or_create(*id);
             let mut page = cell.latch.write();
-            if *version > page.version {
+            if absent || *version > page.version {
                 page.data_mut().copy_from_slice(image);
                 page.version = *version;
             }
@@ -246,6 +255,18 @@ impl ReplicaNode {
     /// The node's pending-update applier.
     pub fn applier(&self) -> &Arc<PendingApplier> {
         &self.applier
+    }
+
+    /// Installs a history tap on this node and its applier.
+    pub fn set_trace_tap(&self, tap: SharedTap) {
+        self.applier.set_trace(self.id, Arc::clone(&tap));
+        *self.tap.write() = Some(tap);
+    }
+
+    fn emit(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(tap) = self.tap.read().as_ref() {
+            tap.record(f());
+        }
     }
 
     /// Current role.
@@ -465,6 +486,7 @@ impl ReplicaNode {
         self.applier.apply_all();
         *self.dbversion.lock() = latest.clone();
         self.set_role(ReplicaRole::Master);
+        self.emit(|| TraceEvent::Promoted { node: self.id, from: latest.clone() });
     }
 
     /// Takes a fuzzy checkpoint (kept as this node's "local stable

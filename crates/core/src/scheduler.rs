@@ -13,6 +13,7 @@
 
 use crate::messages::Msg;
 use crate::replica::ReplicaNode;
+use crate::trace::{SharedTap, TraceEvent};
 use dmv_common::clock::SimClock;
 use dmv_common::config::NetProfile;
 use dmv_common::error::{DmvError, DmvResult};
@@ -147,6 +148,8 @@ pub struct Scheduler {
     feed_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
     alive: AtomicBool,
     backends: Vec<Arc<DiskDb>>,
+    /// Optional history tap (deterministic simulation testing).
+    tap: RwLock<Option<SharedTap>>,
 }
 
 impl Scheduler {
@@ -173,6 +176,7 @@ impl Scheduler {
             feed_thread: Mutex::new(None),
             alive: AtomicBool::new(true),
             backends: backends.clone(),
+            tap: RwLock::new(None),
         });
         if !backends.is_empty() {
             let (tx, rx) = crossbeam::channel::unbounded::<Vec<Query>>();
@@ -218,6 +222,18 @@ impl Scheduler {
     /// The latest merged version vector.
     pub fn latest(&self) -> VersionVector {
         self.latest.snapshot()
+    }
+
+    /// Installs a history tap; events fire on the threads documented in
+    /// [`crate::trace`].
+    pub fn set_trace_tap(&self, tap: SharedTap) {
+        *self.tap.write() = Some(tap);
+    }
+
+    fn emit(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(tap) = self.tap.read().as_ref() {
+            tap.record(f());
+        }
     }
 
     /// Snapshot of the topology.
@@ -281,6 +297,10 @@ impl Scheduler {
         match res {
             Ok(version) => {
                 self.latest.merge(&version);
+                self.emit(|| TraceEvent::UpdateCommitted {
+                    scheduler: self.id,
+                    version: version.clone(),
+                });
                 // §4.6: log, then return; backends apply asynchronously.
                 if !self.cfg.log_latency.is_zero() {
                     self.cfg.clock.sleep_paper(self.cfg.log_latency);
@@ -298,6 +318,10 @@ impl Scheduler {
             }
             Err(e) => {
                 self.count_abort(&e);
+                self.emit(|| TraceEvent::UpdateAborted {
+                    scheduler: self.id,
+                    reason: e.to_string(),
+                });
                 Err(e)
             }
         }
@@ -424,6 +448,11 @@ impl Scheduler {
         let load = self.load_of(slave.id());
         load.inflight.fetch_add(1, Ordering::Relaxed); // relaxed-ok: load-balancing hint; staleness skews routing, never correctness
         load.last_tag_total.store(tag.total(), Ordering::Relaxed); // relaxed-ok: load-balancing hint; staleness skews routing, never correctness
+        self.emit(|| TraceEvent::ReadRouted {
+            scheduler: self.id,
+            slave: slave.id(),
+            tag: tag.clone(),
+        });
         self.charge_hop(256);
         let res = slave.execute_read_with(&tag, f);
         load.inflight.fetch_sub(1, Ordering::Relaxed); // relaxed-ok: load-balancing hint; staleness skews routing, never correctness
@@ -432,10 +461,16 @@ impl Scheduler {
                 self.charge_hop(512);
                 self.stats.commits.inc();
                 self.stats.reads.inc();
+                self.emit(|| TraceEvent::ReadCommitted { scheduler: self.id, slave: slave.id() });
                 Ok(())
             }
             Err(e) => {
                 self.count_abort(&e);
+                self.emit(|| TraceEvent::ReadAborted {
+                    scheduler: self.id,
+                    slave: slave.id(),
+                    reason: e.to_string(),
+                });
                 Err(e)
             }
         }

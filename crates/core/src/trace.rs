@@ -1,0 +1,113 @@
+//! History tap points for deterministic simulation testing.
+//!
+//! The fault-schedule explorer (`dmv-dst`) needs to observe what the
+//! cluster *did* — which version each commit produced, which slave a
+//! tagged read was routed to, what was discarded during fail-over —
+//! without the observation changing the behaviour under test. These
+//! taps are that observation channel: a [`TraceTap`] installed via
+//! [`crate::cluster::DmvCluster::set_trace_tap`] receives a
+//! [`TraceEvent`] at each of the protocol's decision points.
+//!
+//! Emission sites and threading:
+//!
+//! * scheduler events ([`TraceEvent::UpdateCommitted`],
+//!   [`TraceEvent::UpdateAborted`], [`TraceEvent::ReadRouted`],
+//!   [`TraceEvent::ReadCommitted`], [`TraceEvent::ReadAborted`]) fire
+//!   **synchronously on the calling client thread**, so a single-driver
+//!   harness can attribute them to the operation it just issued;
+//! * replica promotion ([`TraceEvent::Promoted`]) and queue cleanup
+//!   ([`TraceEvent::DiscardedAbove`]) fire on whichever thread runs
+//!   reconfiguration — the harness's own thread when it calls
+//!   `detect_and_reconfigure` directly;
+//! * [`TraceEvent::WriteSetEnqueued`] fires on replica **receiver
+//!   threads** and is therefore not ordered with respect to client
+//!   operations; deterministic consumers must treat it as an unordered
+//!   side log.
+//!
+//! When no tap is installed the cost is one shared-lock read per
+//! operation; the hot replication path (enqueue) checks an `Option`
+//! under a read lock and skips everything else.
+
+use dmv_common::ids::{NodeId, TxnId};
+use dmv_common::version::VersionVector;
+use std::sync::Arc;
+
+/// One observed protocol event.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// An update transaction committed through a scheduler, producing
+    /// `version` (the master's post-bump vector for its conflict class).
+    UpdateCommitted {
+        /// Scheduler that ran the update.
+        scheduler: NodeId,
+        /// Version vector returned by the master's commit.
+        version: VersionVector,
+    },
+    /// An update transaction aborted.
+    UpdateAborted {
+        /// Scheduler that ran the update.
+        scheduler: NodeId,
+        /// Display form of the abort error.
+        reason: String,
+    },
+    /// A read-only transaction was tagged and routed to a slave.
+    ReadRouted {
+        /// Scheduler that routed the read.
+        scheduler: NodeId,
+        /// Chosen slave.
+        slave: NodeId,
+        /// The version tag assigned to the read.
+        tag: VersionVector,
+    },
+    /// A routed read completed successfully.
+    ReadCommitted {
+        /// Scheduler that routed the read.
+        scheduler: NodeId,
+        /// Slave that served it.
+        slave: NodeId,
+    },
+    /// A routed read aborted (version conflict, timeout, node failure).
+    ReadAborted {
+        /// Scheduler that routed the read.
+        scheduler: NodeId,
+        /// Slave it was routed to.
+        slave: NodeId,
+        /// Display form of the abort error.
+        reason: String,
+    },
+    /// A replica's applier enqueued a replicated write-set (receiver
+    /// thread; unordered with respect to client operations).
+    WriteSetEnqueued {
+        /// Receiving replica.
+        node: NodeId,
+        /// Transaction the write-set belongs to.
+        txn: TxnId,
+        /// Versions the write-set carries.
+        versions: VersionVector,
+    },
+    /// A replica discarded queued records above `keep` (master-failure
+    /// cleanup, §4.2).
+    DiscardedAbove {
+        /// Replica whose queues were trimmed.
+        node: NodeId,
+        /// Highest versions kept.
+        keep: VersionVector,
+    },
+    /// A slave was promoted to master, continuing from `from`.
+    Promoted {
+        /// The promoted replica.
+        node: NodeId,
+        /// The scheduler-acknowledged vector it resumes from.
+        from: VersionVector,
+    },
+}
+
+/// Receiver of trace events. Implementations must be cheap and must not
+/// call back into the cluster (they run inside commit/read paths).
+pub trait TraceTap: Send + Sync {
+    /// Records one event.
+    fn record(&self, ev: TraceEvent);
+}
+
+/// The shared form taps are installed as.
+pub type SharedTap = Arc<dyn TraceTap>;

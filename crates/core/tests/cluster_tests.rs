@@ -293,6 +293,25 @@ fn fresh_node_integration_transfers_everything() {
     cluster.shutdown();
 }
 
+/// Regression (found by the dmv-dst fault-schedule explorer, seed 2,
+/// shrunk to a single `integrate-fresh` event): a node integrated right
+/// after the initial load — before any update bumped page versions —
+/// must actually serve the loaded rows. The page-batch apply used to
+/// drop images whose version was not strictly newer than the joiner's,
+/// and a just-created page is at version 0, exactly like an untouched
+/// loaded page; every migrated page was silently discarded and the
+/// fresh node served empty scans.
+#[test]
+fn fresh_node_integrated_before_any_update_serves_loaded_rows() {
+    let cluster = start_cluster(1, 0);
+    let (id, report) = cluster.integrate_fresh_node().unwrap();
+    assert!(report.pages > 0, "the whole database migrates");
+    let fresh = cluster.replica(id).unwrap();
+    let rs = fresh.execute_read(&[scan_all()], &cluster.latest_version()).unwrap();
+    assert_eq!(rs[0].rows.len(), 100, "fresh node must serve the initial load");
+    cluster.shutdown();
+}
+
 #[test]
 fn scheduler_failover_preserves_versions() {
     let mut spec = ClusterSpec::fast_test(schema());

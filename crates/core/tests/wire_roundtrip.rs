@@ -97,10 +97,70 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
     ]
 }
 
+/// Two version vectors over the same table set (merge/compare are only
+/// defined for equal lengths).
+fn arb_vv_pair() -> impl Strategy<Value = (VersionVector, VersionVector)> {
+    (0usize..6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(any::<u64>(), n).prop_map(VersionVector::from_entries),
+            proptest::collection::vec(any::<u64>(), n).prop_map(VersionVector::from_entries),
+        )
+    })
+}
+
+fn arb_vv_triple() -> impl Strategy<Value = (VersionVector, VersionVector, VersionVector)> {
+    (0usize..6).prop_flat_map(|n| {
+        let vv =
+            || proptest::collection::vec(any::<u64>(), n).prop_map(VersionVector::from_entries);
+        (vv(), vv(), vv())
+    })
+}
+
 proptest! {
     #[test]
     fn msg_roundtrips_with_exact_len(msg in arb_msg()) {
         roundtrip(&msg);
+    }
+
+    // The version-vector lattice properties every consistency argument
+    // rests on: the scheduler's "latest" is a running merge of commit
+    // vectors, and read tags compare via `dominates`. Merge must be a
+    // commutative, monotone least upper bound or tagged reads could be
+    // routed to slaves that miss some of the commits the tag implies.
+
+    #[test]
+    fn vv_merge_is_commutative_and_dominates_both((a, b) in arb_vv_pair()) {
+        let m = a.merged(&b);
+        prop_assert_eq!(&m, &b.merged(&a));
+        prop_assert!(m.dominates(&a) && m.dominates(&b));
+        // Least upper bound: nothing strictly smaller also dominates both.
+        prop_assert_eq!(&a.merged(&a), &a, "merge is idempotent");
+    }
+
+    #[test]
+    fn vv_merge_is_monotone_and_associative((a, b, c) in arb_vv_triple()) {
+        prop_assert_eq!(&a.merged(&b).merged(&c), &a.merged(&b.merged(&c)));
+        if a.dominates(&b) {
+            prop_assert!(
+                a.merged(&c).dominates(&b.merged(&c)),
+                "merging the same vector must preserve dominance"
+            );
+        }
+        // Least-upper-bound minimality: any common upper bound of a and
+        // b dominates their merge.
+        let ub = a.merged(&b).merged(&c);
+        prop_assert!(ub.dominates(&a.merged(&b)));
+    }
+
+    #[test]
+    fn vv_dominance_is_a_partial_order((a, b) in arb_vv_pair()) {
+        prop_assert!(a.dominates(&a), "reflexive");
+        if a.dominates(&b) && b.dominates(&a) {
+            prop_assert_eq!(&a, &b, "antisymmetric");
+        }
+        if a.strictly_dominates(&b) {
+            prop_assert!(a.dominates(&b) && a != b);
+        }
     }
 
     #[test]

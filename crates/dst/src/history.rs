@@ -1,0 +1,46 @@
+//! History recorder: a [`TraceTap`] splitting trace events into the
+//! deterministic and the asynchronous.
+//!
+//! Scheduler events (commit/abort/route) and reconfiguration events
+//! (promotion, discard) fire synchronously on the driver thread, so
+//! between two schedule events the `ops` bucket holds exactly the
+//! events of the last operation — [`History::drain_ops`] attributes
+//! them. `WriteSetEnqueued` fires on replica receiver threads in
+//! arbitrary order; it lands in the `stream` bucket, which oracles may
+//! inspect but the canonical trace excludes.
+
+use dmv_core::{TraceEvent, TraceTap};
+use parking_lot::Mutex;
+
+/// The recorder installed via [`dmv_core::DmvCluster::set_trace_tap`].
+#[derive(Debug, Default)]
+pub struct History {
+    ops: Mutex<Vec<TraceEvent>>,
+    stream: Mutex<Vec<TraceEvent>>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes every synchronous event recorded since the last drain.
+    pub fn drain_ops(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.ops.lock())
+    }
+
+    /// Takes the asynchronous write-set stream events.
+    pub fn drain_stream(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.stream.lock())
+    }
+}
+
+impl TraceTap for History {
+    fn record(&self, ev: TraceEvent) {
+        match ev {
+            TraceEvent::WriteSetEnqueued { .. } => self.stream.lock().push(ev),
+            _ => self.ops.lock().push(ev),
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! `dmv-dst` CLI: explore random fault schedules, replay repro files,
+//! shrink failures.
+//!
+//! ```text
+//! dmv-dst --seed 42            # one verbose run (full trace printed)
+//! dmv-dst --seeds 100          # explore seeds 0..100, each run twice
+//! dmv-dst --seeds 20 --base 7  # explore seeds 7..27
+//! dmv-dst --repro f.repro      # replay a persisted failing schedule
+//! dmv-dst --repro f.repro --shrink   # minimize it further
+//! ```
+//!
+//! Every seed runs **twice**; differing trace digests mean the run was
+//! not deterministic, which is itself a failure. On an oracle failure
+//! the schedule is shrunk (bounded run budget) and written to
+//! `target/dst/failure-<seed>.repro`; the exit code is 1.
+
+use dmv_dst::harness::run_schedule;
+use dmv_dst::repro::{from_repro, to_repro};
+use dmv_dst::schedule::for_seed;
+use dmv_dst::shrink::shrink;
+use std::process::ExitCode;
+
+const SHRINK_BUDGET: usize = 200;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = None;
+    let mut seeds = None;
+    let mut base = 0u64;
+    let mut repro = None;
+    let mut do_shrink = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = Some(parse_u64(it.next(), "--seed")),
+            "--seeds" => seeds = Some(parse_u64(it.next(), "--seeds")),
+            "--base" => base = parse_u64(it.next(), "--base"),
+            "--repro" => repro = it.next().cloned().or_else(|| die("--repro needs a file")),
+            "--shrink" => do_shrink = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: dmv-dst --seed S | --seeds N [--base B] | --repro FILE [--shrink]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = repro {
+        return run_repro(&path, do_shrink);
+    }
+    if let Some(s) = seed {
+        return run_one_verbose(s);
+    }
+    let n = seeds.unwrap_or_else(|| {
+        eprintln!("usage: dmv-dst --seed S | --seeds N [--base B] | --repro FILE [--shrink]");
+        std::process::exit(2)
+    });
+    explore(base, n)
+}
+
+fn parse_u64(v: Option<&String>, flag: &str) -> u64 {
+    match v.and_then(|s| s.parse().ok()) {
+        Some(x) => x,
+        None => {
+            eprintln!("{flag} needs an unsigned integer");
+            std::process::exit(2)
+        }
+    }
+}
+
+fn die(msg: &str) -> Option<String> {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+fn run_one_verbose(seed: u64) -> ExitCode {
+    let s = for_seed(seed);
+    println!("schedule seed={seed} workload={} events={}", s.config.workload, s.events.len());
+    let r = run_schedule(&s);
+    for line in &r.trace {
+        println!("  {line}");
+    }
+    println!(
+        "trace digest {:#018x}  commits={} reads={} aborts={}",
+        r.trace_digest(),
+        r.commits,
+        r.reads,
+        r.aborts
+    );
+    report_failures(&s, &r.failures)
+}
+
+fn explore(base: u64, n: u64) -> ExitCode {
+    let mut ok = 0u64;
+    for seed in base..base + n {
+        let s = for_seed(seed);
+        let r1 = run_schedule(&s);
+        let r2 = run_schedule(&s);
+        if r1.trace_digest() != r2.trace_digest() {
+            println!(
+                "seed {seed}: NONDETERMINISTIC ({:#018x} vs {:#018x})",
+                r1.trace_digest(),
+                r2.trace_digest()
+            );
+            print_diff(&r1.trace, &r2.trace);
+            persist(&s, seed);
+            return ExitCode::FAILURE;
+        }
+        if !r1.passed() {
+            println!("seed {seed}: FAILED");
+            for f in &r1.failures {
+                println!("  oracle: {f}");
+            }
+            let (min, runs) = shrink(&s, SHRINK_BUDGET);
+            println!("shrunk {} -> {} events in {runs} runs", s.events.len(), min.events.len());
+            let path = persist(&min, seed);
+            println!("repro written to {path}");
+            println!("replay: cargo xtask dst --repro {path}");
+            return ExitCode::FAILURE;
+        }
+        ok += 1;
+        println!(
+            "seed {seed}: ok {} events={} commits={} reads={} aborts={} digest={:#018x}",
+            s.config.workload,
+            s.events.len(),
+            r1.commits,
+            r1.reads,
+            r1.aborts,
+            r1.trace_digest()
+        );
+    }
+    println!("{ok}/{n} seeds passed (base {base})");
+    ExitCode::SUCCESS
+}
+
+fn run_repro(path: &str, do_shrink: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let s = match from_repro(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad repro file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("repro seed={} workload={} events={}", s.seed, s.config.workload, s.events.len());
+    let r = run_schedule(&s);
+    for line in &r.trace {
+        println!("  {line}");
+    }
+    if do_shrink && !r.passed() {
+        let (min, runs) = shrink(&s, SHRINK_BUDGET);
+        println!("shrunk {} -> {} events in {runs} runs", s.events.len(), min.events.len());
+        let out = format!("{path}.min");
+        if let Err(e) = std::fs::write(&out, to_repro(&min)) {
+            eprintln!("cannot write {out}: {e}");
+        } else {
+            println!("minimized repro written to {out}");
+        }
+        let rm = run_schedule(&min);
+        return report_failures(&min, &rm.failures);
+    }
+    report_failures(&s, &r.failures)
+}
+
+fn report_failures(_s: &dmv_dst::schedule::Schedule, failures: &[String]) -> ExitCode {
+    if failures.is_empty() {
+        println!("all oracles passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in failures {
+            println!("oracle: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn persist(s: &dmv_dst::schedule::Schedule, seed: u64) -> String {
+    let dir = std::path::Path::new("target/dst");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("failure-{seed}.repro"));
+    let _ = std::fs::write(&path, to_repro(s));
+    path.display().to_string()
+}
+
+fn print_diff(a: &[String], b: &[String]) {
+    for i in 0..a.len().max(b.len()) {
+        let la = a.get(i).map(String::as_str).unwrap_or("<missing>");
+        let lb = b.get(i).map(String::as_str).unwrap_or("<missing>");
+        if la != lb {
+            println!("  first divergence at line {i}:");
+            println!("    run1: {la}");
+            println!("    run2: {lb}");
+            break;
+        }
+    }
+}

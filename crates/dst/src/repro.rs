@@ -1,0 +1,119 @@
+//! Repro files: a failing schedule persisted as text.
+//!
+//! The format is deliberately line-oriented and human-editable — a
+//! header of `key = value` pairs (seed and cluster shape), a `--`
+//! separator, then one [`Event`] display line per event. Hand-deleting
+//! event lines is a manual shrink step; `Event::parse` accepts exactly
+//! what `Display` prints, so the round-trip is lossless.
+//!
+//! ```text
+//! # dmv-dst repro v1
+//! seed = 42
+//! workload = bank
+//! ...
+//! --
+//! transfer client=0 from=3 to=7 amount=4
+//! kill-master class=0
+//! detect
+//! ```
+
+use crate::schedule::{Event, Schedule, ScheduleConfig, Workload};
+
+/// Serializes a schedule as a repro file.
+pub fn to_repro(s: &Schedule) -> String {
+    let c = &s.config;
+    let mut out = String::new();
+    out.push_str("# dmv-dst repro v1\n");
+    out.push_str(&format!("seed = {}\n", s.seed));
+    out.push_str(&format!("workload = {}\n", c.workload));
+    out.push_str(&format!("slaves = {}\n", c.n_slaves));
+    out.push_str(&format!("spares = {}\n", c.n_spares));
+    out.push_str(&format!("backends = {}\n", c.n_backends));
+    out.push_str(&format!("classes = {}\n", c.n_classes));
+    out.push_str(&format!("accounts = {}\n", c.n_accounts));
+    out.push_str(&format!("counters = {}\n", c.n_counters));
+    out.push_str(&format!("clients = {}\n", c.n_clients));
+    out.push_str("--\n");
+    for e in &s.events {
+        out.push_str(&format!("{e}\n"));
+    }
+    out
+}
+
+/// Parses a repro file back into a schedule.
+///
+/// # Errors
+///
+/// A description of the first malformed line or missing header key.
+pub fn from_repro(text: &str) -> Result<Schedule, String> {
+    let mut seed = None;
+    let mut cfg = ScheduleConfig::bank();
+    let mut events = Vec::new();
+    let mut in_events = false;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "--" {
+            in_events = true;
+            continue;
+        }
+        if in_events {
+            events.push(Event::parse(line).map_err(|e| format!("line {}: {e}", ln + 1))?);
+            continue;
+        }
+        let (key, val) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| format!("line {}: expected `key = value`, got {line:?}", ln + 1))?;
+        let int =
+            |v: &str| v.parse::<i64>().map_err(|_| format!("line {}: bad number {v:?}", ln + 1));
+        match key {
+            "seed" => seed = Some(int(val)? as u64),
+            "workload" => {
+                cfg.workload = match val {
+                    "bank" => Workload::Bank,
+                    "tpcw" => Workload::Tpcw,
+                    other => return Err(format!("line {}: unknown workload {other:?}", ln + 1)),
+                }
+            }
+            "slaves" => cfg.n_slaves = int(val)? as usize,
+            "spares" => cfg.n_spares = int(val)? as usize,
+            "backends" => cfg.n_backends = int(val)? as usize,
+            "classes" => cfg.n_classes = int(val)? as usize,
+            "accounts" => cfg.n_accounts = int(val)?,
+            "counters" => cfg.n_counters = int(val)?,
+            "clients" => cfg.n_clients = int(val)? as u64,
+            other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
+        }
+    }
+    let seed = seed.ok_or_else(|| "missing `seed = N` header".to_string())?;
+    Ok(Schedule { seed, config: cfg, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::for_seed;
+
+    #[test]
+    fn round_trips_generated_schedules() {
+        for seed in [0u64, 3, 17, 42] {
+            let s = for_seed(seed);
+            let text = to_repro(&s);
+            let back = from_repro(&text).unwrap();
+            assert_eq!(back.seed, s.seed);
+            assert_eq!(back.config, s.config);
+            assert_eq!(back.events, s.events);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(from_repro("seed = x\n--\n").is_err());
+        assert!(from_repro("--\n").is_err(), "seed is required");
+        assert!(from_repro("seed = 1\nworkload = other\n--\n").is_err());
+        assert!(from_repro("seed = 1\n--\nnot-an-event\n").is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Greedy schedule minimization (delta-debugging by event deletion).
+//!
+//! Given a failing schedule, repeatedly try deleting chunks of events
+//! and keep any deletion after which the schedule *still fails*. Chunks
+//! start at half the schedule and halve down to single events; the
+//! sweep repeats at chunk size 1 until a full pass removes nothing (a
+//! local minimum: every remaining event is necessary) or the run budget
+//! is exhausted. Every candidate is one full deterministic run, so the
+//! result is reproducible.
+//!
+//! Deleting events can change cluster evolution arbitrarily (a deleted
+//! `detect` leaves a dead master in place), so the predicate is simply
+//! "some oracle still fails" — the minimized schedule demonstrates *a*
+//! failure, which is what a repro needs.
+
+use crate::harness::run_schedule;
+use crate::schedule::Schedule;
+
+/// Minimizes `s` under an arbitrary failure predicate. Returns the
+/// minimized schedule and the number of candidate runs spent. `s`
+/// itself is assumed to satisfy the predicate (it is returned unchanged
+/// if no deletion preserves failure).
+pub fn shrink_with(
+    s: &Schedule,
+    fails: &dyn Fn(&Schedule) -> bool,
+    max_runs: usize,
+) -> (Schedule, usize) {
+    let mut cur = s.clone();
+    let mut runs = 0usize;
+    let mut chunk = (cur.events.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < cur.events.len() && runs < max_runs {
+            let mut cand = cur.clone();
+            let end = (i + chunk).min(cand.events.len());
+            cand.events.drain(i..end);
+            runs += 1;
+            if fails(&cand) {
+                cur = cand;
+                progressed = true;
+                // retry the same position: the next chunk slid into it
+            } else {
+                i = end;
+            }
+        }
+        if runs >= max_runs || (chunk == 1 && !progressed) {
+            break;
+        }
+        if chunk > 1 {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    (cur, runs)
+}
+
+/// Minimizes a schedule that fails the oracles, re-running the harness
+/// as the predicate.
+pub fn shrink(s: &Schedule, max_runs: usize) -> (Schedule, usize) {
+    shrink_with(s, &|c| !run_schedule(c).passed(), max_runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Event, Schedule, ScheduleConfig};
+
+    fn sched(events: Vec<Event>) -> Schedule {
+        Schedule { seed: 1, config: ScheduleConfig::bank(), events }
+    }
+
+    #[test]
+    fn shrinks_to_the_necessary_pair() {
+        // Synthetic predicate: fails iff the schedule still contains a
+        // Detect and a HealAll (in any positions).
+        let fails = |s: &Schedule| {
+            s.events.iter().any(|e| matches!(e, Event::Detect))
+                && s.events.iter().any(|e| matches!(e, Event::HealAll))
+        };
+        let mut events = Vec::new();
+        for i in 0..20 {
+            events.push(Event::Deposit { client: 0, acct: i % 5, amount: 1 });
+            if i == 7 {
+                events.push(Event::Detect);
+            }
+            if i == 13 {
+                events.push(Event::HealAll);
+            }
+        }
+        let s = sched(events);
+        let (min, runs) = shrink_with(&s, &fails, 10_000);
+        assert_eq!(min.events.len(), 2, "only the two necessary events remain: {:?}", min.events);
+        assert!(fails(&min));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn returns_input_when_nothing_can_go() {
+        let fails = |s: &Schedule| s.events.len() >= 3;
+        let s = sched(vec![Event::Detect, Event::HealAll, Event::Read { client: 0 }]);
+        let (min, _) = shrink_with(&s, &fails, 1000);
+        assert_eq!(min.events.len(), 3);
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`sim`] — [`SimnetTransport`], the adapter presenting
 //!   `dmv-simnet`'s in-process network through the trait, semantics
 //!   unchanged;
+//! * [`fault`] — [`FaultTransport`], a decorator injecting crash
+//!   faults at exact send counts (kill-mid-broadcast scenarios for
+//!   deterministic simulation testing);
 //! * [`tcp`] — [`TcpTransport`], real sockets on `std::net` loopback or
 //!   LAN: thread-per-connection reader/writer pairs, bounded outbound
 //!   queues with backpressure, reconnect with capped exponential
@@ -24,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod fault;
 pub mod frame;
 pub mod queue;
 pub mod sim;
 pub mod tcp;
 pub mod transport;
 
+pub use fault::FaultTransport;
 pub use sim::SimnetTransport;
 pub use tcp::TcpTransport;
 pub use transport::{DynTransport, Endpoint, Envelope, Transport};

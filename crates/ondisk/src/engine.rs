@@ -10,11 +10,13 @@ use dmv_common::throttle::Throttle;
 use dmv_memdb::{MemDb, MemDbOptions};
 use dmv_pagestore::store::Residency;
 use dmv_sql::exec::{ExecRunner, RecordingRunner, ResultSet, StatementRunner};
-use dmv_sql::query::Query;
+use dmv_sql::query::{Query, Select};
+use dmv_sql::row::Row;
 use dmv_sql::schema::Schema;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// Construction options for [`DiskDb`].
@@ -47,6 +49,34 @@ impl Default for DiskDbOptions {
     }
 }
 
+/// Canonical digest over table contents: per table (in the given
+/// order), row representations are sorted — physical row order never
+/// matters — and folded with FNV-1a. Two databases holding the same
+/// logical state produce the same digest regardless of engine, page
+/// layout or insertion order; this is the primitive behind cross-tier
+/// state audits (in-memory replicas vs. on-disk backends).
+pub fn rows_digest<'a>(tables: impl IntoIterator<Item = (u16, &'a [Row])>) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut fold = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for (table, rows) in tables {
+        fold(&table.to_le_bytes());
+        let mut reprs: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+        reprs.sort_unstable();
+        for r in reprs {
+            fold(r.as_bytes());
+            fold(&[0xff]);
+        }
+    }
+    h
+}
+
 /// An InnoDB-like on-disk database: page storage with a bounded buffer
 /// pool, strict two-phase locking (serializable), and a WAL forced at
 /// commit.
@@ -63,6 +93,11 @@ pub struct DiskDb {
     clock: SimClock,
     buffer_pages: usize,
     evict_epoch: AtomicU64,
+    /// Fault-injection gate: while true, transactions block at entry —
+    /// a wedged disk tier. Callers must unstall before shutdown or any
+    /// drain, or the feed thread blocks forever.
+    stalled: Mutex<bool>,
+    stall_cv: Condvar,
 }
 
 impl DiskDb {
@@ -91,6 +126,22 @@ impl DiskDb {
             clock: opts.clock,
             buffer_pages: opts.buffer_pages,
             evict_epoch: AtomicU64::new(0),
+            stalled: Mutex::new(false),
+            stall_cv: Condvar::new(),
+        }
+    }
+
+    /// Stalls (`true`) or resumes (`false`) the engine: while stalled,
+    /// every transaction blocks at entry, modeling an I/O-wedged backend.
+    pub fn set_stalled(&self, stalled: bool) {
+        *self.stalled.lock().expect("stall gate poisoned") = stalled;
+        self.stall_cv.notify_all();
+    }
+
+    fn wait_unstalled(&self) {
+        let mut g = self.stalled.lock().expect("stall gate poisoned");
+        while *g {
+            g = self.stall_cv.wait(g).expect("stall gate poisoned");
         }
     }
 
@@ -141,6 +192,7 @@ impl DiskDb {
         &self,
         f: &mut dyn FnMut(&mut dyn StatementRunner) -> DmvResult<()>,
     ) -> DmvResult<Vec<Query>> {
+        self.wait_unstalled();
         let mut txn = self.inner.begin_update();
         let writes = {
             let mut er = ExecRunner::new(&mut txn);
@@ -219,6 +271,21 @@ impl DiskDb {
             txn.commit(None);
         }
         Ok(())
+    }
+
+    /// State-audit API: a canonical digest of every table's current
+    /// contents (see [`rows_digest`]). Runs as an ordinary read
+    /// transaction, so it blocks while the engine is stalled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures (lock timeouts under contention).
+    pub fn state_digest(&self) -> DmvResult<u64> {
+        let queries: Vec<Query> =
+            self.schema().tables().map(|t| Query::Select(Select::scan(t.id))).collect();
+        let ids: Vec<u16> = self.schema().tables().map(|t| t.id.0).collect();
+        let results = self.execute_txn(&queries)?;
+        Ok(rows_digest(ids.iter().copied().zip(results.iter().map(|rs| rs.rows.as_slice()))))
     }
 
     /// Marks every page resident without charging I/O (a warm start, as
@@ -356,6 +423,31 @@ mod tests {
         let before = db.buffer_misses();
         let _ = db.execute_txn(&[Query::Select(Select::scan(TableId(0)))]).unwrap();
         assert!(db.buffer_misses() > before, "scan over a tiny pool must miss");
+    }
+
+    #[test]
+    fn state_digest_is_order_insensitive_and_content_sensitive() {
+        let a = DiskDb::new(schema(), DiskDbOptions::default());
+        let b = DiskDb::new(schema(), DiskDbOptions::default());
+        a.execute_txn(&[insert(1, "x")]).unwrap();
+        a.execute_txn(&[insert(2, "y")]).unwrap();
+        b.execute_txn(&[insert(2, "y")]).unwrap();
+        b.execute_txn(&[insert(1, "x")]).unwrap();
+        assert_eq!(a.state_digest().unwrap(), b.state_digest().unwrap());
+        b.execute_txn(&[insert(3, "z")]).unwrap();
+        assert_ne!(a.state_digest().unwrap(), b.state_digest().unwrap());
+    }
+
+    #[test]
+    fn stall_blocks_transactions_until_resumed() {
+        let db = std::sync::Arc::new(DiskDb::new(schema(), DiskDbOptions::default()));
+        db.set_stalled(true);
+        let db2 = std::sync::Arc::clone(&db);
+        let h = std::thread::spawn(move || db2.execute_txn(&[insert(1, "a")]).is_ok());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_finished(), "transaction ran through a stalled engine");
+        db.set_stalled(false);
+        assert!(h.join().unwrap());
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod tier;
 pub mod wal;
 
 pub use binlog::{Binlog, BinlogRecord};
-pub use engine::{DiskDb, DiskDbOptions};
+pub use engine::{rows_digest, DiskDb, DiskDbOptions};
 pub use tier::InnoDbTier;
 pub use wal::{Wal, WalRecord};

@@ -49,6 +49,9 @@ struct NetInner<M> {
     nodes: RwLock<HashMap<NodeId, NodeHandle<M>>>,
     partitions: RwLock<HashSet<(NodeId, NodeId)>>,
     profile: NetProfile,
+    /// Transient latency added on top of the profile (paper time) —
+    /// fault injection for congestion/latency-spike scenarios.
+    extra_delay: RwLock<Duration>,
     clock: SimClock,
     messages_sent: AtomicU64,
     bytes_sent: AtomicU64,
@@ -73,6 +76,7 @@ impl<M: Send + 'static> Network<M> {
                 nodes: RwLock::new(HashMap::new()),
                 partitions: RwLock::new(HashSet::new()),
                 profile,
+                extra_delay: RwLock::new(Duration::ZERO),
                 clock,
                 messages_sent: AtomicU64::new(0),
                 bytes_sent: AtomicU64::new(0),
@@ -123,6 +127,13 @@ impl<M: Send + 'static> Network<M> {
         p.remove(&(b, a));
     }
 
+    /// Sets a transient extra propagation delay (paper time) added to
+    /// every subsequent delivery — a network-wide latency spike.
+    /// `Duration::ZERO` restores normal conditions.
+    pub fn set_extra_delay(&self, extra: Duration) {
+        *self.inner.extra_delay.write() = extra;
+    }
+
     /// Messages sent so far (diagnostics).
     pub fn messages_sent(&self) -> u64 {
         self.inner.messages_sent.load(Ordering::Relaxed) // relaxed-ok: traffic diagnostics counter
@@ -170,7 +181,8 @@ fn send_inner<M>(
     if !ser.is_zero() {
         inner.clock.sleep_paper(ser);
     }
-    let deliver_at = wall_deadline(inner.clock.scale().to_wall(inner.profile.latency));
+    let extra = *inner.extra_delay.read();
+    let deliver_at = wall_deadline(inner.clock.scale().to_wall(inner.profile.latency + extra));
     let nodes = inner.nodes.read();
     let handle = nodes.get(&to).ok_or(DmvError::NoSuchNode(to))?;
     if !handle.alive.load(Ordering::Acquire) {
@@ -328,6 +340,24 @@ mod tests {
         a.send(NodeId(2), 1, 0).unwrap();
         let _ = b.recv_timeout(Duration::from_secs(1)).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(10), "elapsed {:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn extra_delay_spikes_then_restores_latency() {
+        let clock = SimClock::new(TimeScale::realtime());
+        let net: Network<u32> = Network::new(NetProfile::zero(), clock);
+        let a = net.register(NodeId(1));
+        let b = net.register(NodeId(2));
+        net.set_extra_delay(Duration::from_millis(15));
+        let t0 = Instant::now();
+        a.send(NodeId(2), 1, 0).unwrap();
+        let _ = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(15), "spike not applied: {:?}", t0.elapsed());
+        net.set_extra_delay(Duration::ZERO);
+        let t1 = Instant::now();
+        a.send(NodeId(2), 2, 0).unwrap();
+        let _ = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(t1.elapsed() < Duration::from_millis(15), "spike not cleared: {:?}", t1.elapsed());
     }
 
     #[test]

@@ -116,6 +116,60 @@ impl std::fmt::Debug for EmulatorHandle {
     }
 }
 
+/// An embeddable single-step TPC-W client: one emulated browser whose
+/// interactions are issued one at a time by an external driver, with no
+/// think time and no background thread. Deterministic-simulation
+/// harnesses use this to interleave TPC-W traffic with fault events on
+/// a single thread, so the schedule alone fixes the interleaving.
+pub struct StepDriver {
+    rng: rand::rngs::SmallRng,
+    state: ClientState,
+    ids: Arc<IdAllocator>,
+    scale: TpcwScale,
+    mix: Mix,
+    steps: u64,
+}
+
+impl StepDriver {
+    /// A driver for emulated browser `client`, seeded exactly like the
+    /// threaded emulator's client threads.
+    pub fn new(seed: u64, client: u64, ids: Arc<IdAllocator>, scale: TpcwScale, mix: Mix) -> Self {
+        let mut rng = derive(seed, client);
+        let state = ClientState::new(rng.gen_range(1..=(scale.customers as i64)));
+        StepDriver { rng, state, ids, scale, mix, steps: 0 }
+    }
+
+    /// Plans and runs one interaction against `backend`, returning the
+    /// interaction kind and the outcome. Mirrors the threaded emulator's
+    /// loop body (including the cart-bound checkout rule), with the step
+    /// counter standing in for elapsed paper time in `o_date` values.
+    pub fn step(
+        &mut self,
+        backend: &Backend,
+        retries: usize,
+    ) -> (crate::interactions::InteractionKind, dmv_common::error::DmvResult<()>) {
+        let mut kind = self.mix.sample(&mut self.rng);
+        if kind == crate::interactions::InteractionKind::ShoppingCart {
+            if let Some((_, lines)) = &self.state.cart {
+                if lines.len() >= 8 {
+                    kind = crate::interactions::InteractionKind::BuyConfirm;
+                }
+            }
+        }
+        let now_date = 13_000 + self.steps as i64;
+        self.steps += 1;
+        let mut interaction =
+            plan(kind, &mut self.rng, &mut self.state, &self.ids, self.scale, now_date);
+        (kind, backend.run(&mut interaction, retries))
+    }
+}
+
+impl std::fmt::Debug for StepDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StepDriver").field("steps", &self.steps).finish()
+    }
+}
+
 /// Starts the emulator in the background (the caller may inject faults
 /// on its own schedule before joining).
 pub fn spawn_emulator(

@@ -31,7 +31,7 @@ pub mod populate;
 pub mod schema;
 
 pub use backend::Backend;
-pub use emulator::{run_emulator, EmulatorConfig, EmulatorReport};
+pub use emulator::{run_emulator, EmulatorConfig, EmulatorReport, StepDriver};
 pub use interactions::{IdAllocator, Interaction, InteractionKind};
 pub use mix::Mix;
 pub use populate::TpcwScale;

@@ -1,0 +1,110 @@
+//! Fixed-seed corpus for the deterministic fault-schedule explorer.
+//!
+//! Each seed is one full simulation run: a generated schedule of
+//! workload operations and fault events driven against a real cluster
+//! on the simulated network, with every consistency oracle checked.
+//! The seeds are chosen for coverage — between them they exercise every
+//! event kind (master/slave kills, mid-broadcast crashes, partitions
+//! with heal+resync, reintegration, fresh-node integration, latency
+//! spikes, backend stalls) over both workloads.
+//!
+//! A failing seed prints its oracle violations; reproduce it verbosely
+//! with `cargo xtask dst --seed <N>` and shrink it with the explorer.
+
+use dmv_dst::harness::run_schedule;
+use dmv_dst::repro::{from_repro, to_repro};
+use dmv_dst::schedule::{for_seed, Workload};
+
+fn check_seed(seed: u64) {
+    let s = for_seed(seed);
+    let r = run_schedule(&s);
+    assert!(
+        r.passed(),
+        "seed {seed} failed {} oracle(s):\n  {}\ntrace:\n{}",
+        r.failures.len(),
+        r.failures.join("\n  "),
+        r.trace_text()
+    );
+    assert!(r.commits + r.reads > 0, "seed {seed} exercised no workload at all");
+}
+
+// Bank-workload seeds: exact-prefix/gapless oracles against the model.
+// Seed 2 is historical — its schedule caught the migrate-at-version-0
+// bug (fresh-integrated nodes served empty scans) and shrank it to a
+// single `integrate-fresh` event.
+#[test]
+fn seed_2_fresh_integration_after_master_kill() {
+    check_seed(2);
+}
+
+#[test]
+fn seed_3_mid_broadcast_crash_with_reintegration() {
+    check_seed(3);
+}
+
+#[test]
+fn seed_9_master_kill_without_backend_faults() {
+    check_seed(9);
+}
+
+#[test]
+fn seed_11_every_fault_kind_in_one_schedule() {
+    check_seed(11);
+}
+
+#[test]
+fn seed_19_mid_broadcast_crash_plus_partitions() {
+    check_seed(19);
+}
+
+#[test]
+fn seed_24_fresh_integration_and_both_kill_kinds() {
+    check_seed(24);
+}
+
+#[test]
+fn seed_34_partition_churn_with_stalled_backends() {
+    check_seed(34);
+}
+
+// TPC-W-workload seeds: convergence/digest oracles over the full schema.
+#[test]
+fn seed_4_tpcw_mid_broadcast_crash() {
+    assert_eq!(for_seed(4).config.workload, Workload::Tpcw);
+    check_seed(4);
+}
+
+#[test]
+fn seed_5_tpcw_fresh_integration() {
+    check_seed(5);
+}
+
+#[test]
+fn seed_39_tpcw_partition_and_heal() {
+    check_seed(39);
+}
+
+/// Same seed ⇒ byte-identical trace: the whole point of the harness.
+/// One bank and one TPC-W schedule, each run twice in-process.
+#[test]
+fn repeated_runs_are_byte_identical() {
+    for seed in [3u64, 4] {
+        let s = for_seed(seed);
+        let r1 = run_schedule(&s);
+        let r2 = run_schedule(&s);
+        assert_eq!(r1.trace_text(), r2.trace_text(), "seed {seed} produced two different traces");
+    }
+}
+
+/// Generated schedules survive the repro round-trip, so any failure the
+/// explorer persists replays the exact same events.
+#[test]
+fn corpus_schedules_round_trip_through_repro_files() {
+    for seed in [2u64, 3, 4, 5, 9, 11, 19, 24, 34, 39] {
+        let s = for_seed(seed);
+        let back = from_repro(&to_repro(&s)).unwrap();
+        assert_eq!(back.seed, s.seed);
+        assert_eq!(back.config, s.config);
+        assert_eq!(back.events, s.events, "seed {seed} repro round-trip drift");
+    }
+}

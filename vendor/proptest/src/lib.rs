@@ -3,7 +3,7 @@
 //! Supports the macro surface and strategy combinators the workspace's
 //! property tests use: `proptest!`, `prop_oneof!`, `prop_assert*!`,
 //! `any::<T>()`, integer-range strategies, simple string patterns,
-//! tuples, `Just`, `prop_map` and `collection::vec`. Generation is
+//! tuples, `Just`, `prop_map`, `prop_flat_map` and `collection::vec`. Generation is
 //! deterministic per test case; there is no shrinking — a failing case
 //! panics with the case index so it can be replayed.
 
@@ -127,6 +127,16 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
+        /// Derives a dependent strategy from each generated value.
+        fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+            O: Strategy,
+        {
+            FlatMap { inner: self, f }
+        }
+
         /// Type-erases the strategy (used by `prop_oneof!`).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
@@ -185,6 +195,24 @@ pub mod strategy {
         type Value = O;
         fn generate(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+        O: Strategy,
+    {
+        type Value = O::Value;
+        fn generate(&self, rng: &mut TestRng) -> O::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
         }
     }
 

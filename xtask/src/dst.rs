@@ -1,0 +1,30 @@
+//! `cargo xtask dst` — runs the deterministic fault-schedule explorer.
+//!
+//! A thin wrapper over the `dmv-dst` binary so the repo has one entry
+//! point for exploration and repro replay:
+//!
+//! ```text
+//! cargo xtask dst --seeds 100          # explore 100 random schedules
+//! cargo xtask dst --seed 7             # one verbose run
+//! cargo xtask dst --repro f.repro      # replay a persisted failure
+//! ```
+//!
+//! All arguments are forwarded verbatim; see `dmv-dst --help`.
+
+use std::process::{Command, ExitCode};
+
+/// Builds (release) and runs `dmv-dst` with the given arguments.
+pub fn run(args: &[String]) -> ExitCode {
+    let status = Command::new(env!("CARGO"))
+        .args(["run", "--release", "-q", "-p", "dmv-dst", "--"])
+        .args(args)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("failed to launch dmv-dst: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

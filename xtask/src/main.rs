@@ -3,6 +3,7 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+mod dst;
 mod lint;
 
 use std::process::ExitCode;
@@ -11,13 +12,14 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint::run(&args.collect::<Vec<_>>()),
+        Some("dst") => dst::run(&args.collect::<Vec<_>>()),
         Some(other) => {
-            eprintln!("unknown task `{other}`; available tasks: lint");
+            eprintln!("unknown task `{other}`; available tasks: lint, dst");
             ExitCode::FAILURE
         }
         None => {
             eprintln!(
-                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the repo-specific lint pass"
+                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the repo-specific lint pass\n  dst     run the deterministic fault-schedule explorer"
             );
             ExitCode::FAILURE
         }
