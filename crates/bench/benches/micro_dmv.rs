@@ -193,6 +193,7 @@ fn bench_writeset(c: &mut Criterion) {
             vv.set(TableId(0), version);
             let ws = Arc::new(WriteSet {
                 txn: TxnId::new(NodeId(0), version),
+                seq: version,
                 versions: vv,
                 pages: vec![(PageId::heap(TableId(0), 0), diff.clone())],
             });
@@ -211,6 +212,7 @@ fn multi_page_writeset(n_pages: u32) -> WriteSet {
     let diff = PageDiff::compute(&before, &after);
     WriteSet {
         txn: TxnId::new(NodeId(0), 1),
+        seq: 1,
         versions: VersionVector::from_entries(vec![1]),
         pages: (0..n_pages).map(|p| (PageId::heap(TableId(0), p), diff.clone())).collect(),
     }
@@ -268,6 +270,7 @@ fn bench_applier_contention(c: &mut Criterion) {
                                 let page = PageId::heap(TableId(0), t * PAGES_PER_THREAD + p);
                                 let ws = Arc::new(WriteSet {
                                     txn: TxnId::new(NodeId(t), u64::from(p) + 1),
+                                    seq: u64::from(p) + 1,
                                     versions: VersionVector::from_entries(vec![u64::from(p)]),
                                     pages: vec![(page, diff.clone())],
                                 });

@@ -1,0 +1,331 @@
+//! End-to-end TPC-W throughput benchmark (`cargo xtask bench-e2e`).
+//!
+//! Drives the TPC-W emulator against a full DMV cluster on the
+//! simulated network at paper-scaled latencies, sweeping the three
+//! standard mixes across 1/2/4/8 slaves, plus a single-writer
+//! commit-latency probe (1 client, ordering mix) that guards the
+//! low-load p50 against group-commit batching regressions, plus a
+//! high-fan-out stress cell (ordering at 16 slaves) where the
+//! replication pipeline rather than client think time bounds
+//! throughput.
+//!
+//! Emits `BENCH_e2e.json` so every perf PR appends a comparable data
+//! point to the BENCH trajectory. `--smoke` shrinks the sweep to a
+//! seconds-long CI sanity run (the numbers are meaningless at that
+//! scale; only the harness path and the JSON shape are exercised).
+
+use dmv_bench::{banner, deploy_dmv, DmvOptions, SEED};
+use dmv_tpcw::emulator::{run_emulator, EmulatorConfig, EmulatorReport};
+use dmv_tpcw::populate::TpcwScale;
+use dmv_tpcw::Mix;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One cell of the sweep: a (mix, slave-count) run.
+struct Cell {
+    mix: Mix,
+    slaves: usize,
+    report: EmulatorReport,
+    abort_rate: f64,
+    duration: Duration,
+}
+
+struct Sweep {
+    mixes: Vec<Mix>,
+    slave_counts: Vec<usize>,
+    n_clients: usize,
+    think_time: Duration,
+    duration: Duration,
+    warmup: Duration,
+    time_scale: f64,
+    single_writer_secs: u64,
+    trials: usize,
+}
+
+fn sweep_params(smoke: bool) -> Sweep {
+    if smoke {
+        Sweep {
+            mixes: vec![Mix::Shopping],
+            slave_counts: vec![1, 2],
+            n_clients: 8,
+            think_time: Duration::from_millis(100),
+            duration: Duration::from_secs(2),
+            warmup: Duration::from_millis(500),
+            time_scale: 0.1,
+            single_writer_secs: 2,
+            trials: 1,
+        }
+    } else {
+        // time_scale 1.0: on small hosts paper-time compression turns
+        // scheduler jitter into throughput noise; uncompressed runs keep
+        // the sleep/CPU ratio high enough for repeatable numbers.
+        Sweep {
+            mixes: Mix::ALL.to_vec(),
+            slave_counts: vec![1, 2, 4, 8],
+            n_clients: 16,
+            think_time: Duration::from_millis(100),
+            duration: Duration::from_secs(12),
+            warmup: Duration::from_secs(4),
+            time_scale: 1.0,
+            single_writer_secs: 8,
+            trials: 3,
+        }
+    }
+}
+
+/// The stress cell: ordering mix at double the paper's fan-out
+/// (16 slaves). The standard sweep is a closed loop whose think time
+/// caps the ordering mix near 67 upd/s, so at 1–8 slaves a faster
+/// replication pipeline mostly shows up as lower latency; at 16 slaves
+/// the per-commit broadcast+ack cost is large enough that the pipeline
+/// itself sets the throughput, which is where batching and cumulative
+/// acks are visible. (Raising offered load instead — more clients or
+/// shorter think time — tips TPC-W ordering into a lock-retry collapse
+/// on both the old and new pipelines, so fan-out is the stressor that
+/// stays in a healthy regime.)
+fn stress_params(s: &Sweep) -> Sweep {
+    Sweep {
+        mixes: vec![Mix::Ordering],
+        slave_counts: vec![16],
+        n_clients: s.n_clients,
+        think_time: s.think_time,
+        duration: s.duration,
+        warmup: s.warmup,
+        time_scale: s.time_scale,
+        single_writer_secs: s.single_writer_secs,
+        trials: s.trials,
+    }
+}
+
+fn emulator_cfg(mix: Mix, s: &Sweep) -> EmulatorConfig {
+    EmulatorConfig {
+        mix,
+        n_clients: s.n_clients,
+        think_time: s.think_time,
+        duration: s.duration,
+        warmup: s.warmup,
+        retries: 20,
+        seed: SEED,
+        series_window: Duration::from_secs(2),
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Minimal JSON float: finite, plain decimal (NaN/inf become null).
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+fn run_cell_once(mix: Mix, slaves: usize, s: &Sweep, scale: TpcwScale) -> Cell {
+    let d = deploy_dmv(scale, s.time_scale, DmvOptions { slaves, ..Default::default() });
+    let report = run_emulator(&d.backend, d.clock, &d.ids, scale, emulator_cfg(mix, s));
+    let abort_rate = d.cluster.version_abort_rate();
+    d.cluster.shutdown();
+    Cell { mix, slaves, report, abort_rate, duration: s.duration }
+}
+
+/// Runs a cell `s.trials` times and keeps the median by update
+/// throughput: on small shared hosts a run can catch a scheduler stall,
+/// and the median discards those outliers in both directions.
+fn run_cell(mix: Mix, slaves: usize, s: &Sweep, scale: TpcwScale) -> Cell {
+    let mut trials: Vec<Cell> =
+        (0..s.trials.max(1)).map(|_| run_cell_once(mix, slaves, s, scale)).collect();
+    trials.sort_by_key(|a| a.report.updates);
+    let c = trials.remove(trials.len() / 2);
+    let (report, abort_rate) = (&c.report, c.abort_rate);
+    println!(
+        "  {mix:<9} {slaves} slave(s): {:8.1} WIPS  {:7.1} upd/s  upd p50 {:6.1} ms  p99 {:7.1} ms  aborts {:.2}%",
+        report.wips,
+        report.updates as f64 / s.duration.as_secs_f64(),
+        ms(report.update_p50_latency),
+        ms(report.update_p99_latency),
+        abort_rate * 100.0
+    );
+    c
+}
+
+/// Low-load probe: one emulated browser on the ordering mix — commits
+/// are never concurrent, so every flush is a singleton and the p50 here
+/// is the ungrouped commit latency the batcher must not regress.
+fn run_single_writer(s: &Sweep, scale: TpcwScale) -> EmulatorReport {
+    let mut trials: Vec<EmulatorReport> = (0..s.trials.max(1))
+        .map(|_| {
+            let d = deploy_dmv(scale, s.time_scale, DmvOptions { slaves: 2, ..Default::default() });
+            let cfg = EmulatorConfig {
+                mix: Mix::Ordering,
+                n_clients: 1,
+                think_time: Duration::from_millis(10),
+                duration: Duration::from_secs(s.single_writer_secs),
+                warmup: Duration::from_millis(500),
+                retries: 20,
+                seed: SEED,
+                series_window: Duration::from_secs(2),
+            };
+            let report = run_emulator(&d.backend, d.clock, &d.ids, scale, cfg);
+            d.cluster.shutdown();
+            report
+        })
+        .collect();
+    trials.sort_by_key(|r| r.update_p50_latency);
+    let report = trials.remove(trials.len() / 2);
+    println!(
+        "  single-writer (ordering, 2 slaves): upd p50 {:6.1} ms  p99 {:6.1} ms  ({} updates)",
+        ms(report.update_p50_latency),
+        ms(report.update_p99_latency),
+        report.updates
+    );
+    report
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        "{{\"mix\": \"{}\", \"slaves\": {}, \"wips\": {}, \"updates\": {}, \
+         \"update_tps\": {}, \"update_p50_ms\": {}, \"update_p99_ms\": {}, \
+         \"mean_latency_ms\": {}, \"p90_latency_ms\": {}, \"abort_rate\": {}, \
+         \"errors\": {}}}",
+        format!("{}", c.mix).to_lowercase(),
+        c.slaves,
+        jf(c.report.wips),
+        c.report.updates,
+        jf(c.report.updates as f64 / c.duration.as_secs_f64()),
+        jf(ms(c.report.update_p50_latency)),
+        jf(ms(c.report.update_p99_latency)),
+        jf(ms(c.report.mean_latency)),
+        jf(ms(c.report.p90_latency)),
+        jf(c.abort_rate),
+        c.report.errors,
+    )
+}
+
+fn to_json(
+    cells: &[Cell],
+    single: Option<&EmulatorReport>,
+    stress: Option<&Cell>,
+    s: &Sweep,
+    smoke: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"e2e-tpcw\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"time_scale\": {},", jf(s.time_scale));
+    let _ = writeln!(out, "  \"n_clients\": {},", s.n_clients);
+    let _ = writeln!(out, "  \"duration_s\": {},", s.duration.as_secs());
+    let _ = writeln!(out, "  \"trials\": {},", s.trials);
+    let _ = writeln!(out, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{comma}", cell_json(c));
+    }
+    let _ = writeln!(out, "  ],");
+    match single {
+        Some(r) => {
+            let _ = writeln!(
+                out,
+                "  \"single_writer\": {{\"mix\": \"ordering\", \"slaves\": 2, \"update_p50_ms\": {}, \
+                 \"update_p99_ms\": {}, \"updates\": {}}},",
+                jf(ms(r.update_p50_latency)),
+                jf(ms(r.update_p99_latency)),
+                r.updates,
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  \"single_writer\": null,");
+        }
+    }
+    match stress {
+        Some(c) => {
+            let _ = writeln!(out, "  \"stress\": {}", cell_json(c));
+        }
+        None => {
+            let _ = writeln!(out, "  \"stress\": null");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn flag_val<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path =
+        flag_val::<String>(&args, "--out").unwrap_or_else(|| "BENCH_e2e.json".to_string());
+
+    let mut s = sweep_params(smoke);
+    if let Some(ts) = flag_val::<f64>(&args, "--time-scale") {
+        s.time_scale = ts;
+    }
+    if let Some(n) = flag_val::<usize>(&args, "--clients") {
+        s.n_clients = n;
+    }
+    if let Some(t) = flag_val::<u64>(&args, "--think-ms") {
+        s.think_time = Duration::from_millis(t);
+    }
+    if let Some(secs) = flag_val::<u64>(&args, "--secs") {
+        s.duration = Duration::from_secs(secs);
+    }
+    if let Some(mix) = flag_val::<String>(&args, "--mix") {
+        s.mixes = Mix::ALL
+            .iter()
+            .copied()
+            .filter(|m| format!("{m}").eq_ignore_ascii_case(&mix))
+            .collect();
+    }
+    if let Some(slaves) = flag_val::<String>(&args, "--slaves") {
+        s.slave_counts = slaves.split(',').filter_map(|n| n.parse().ok()).collect();
+    }
+    if let Some(t) = flag_val::<usize>(&args, "--trials") {
+        s.trials = t;
+    }
+    let scale = TpcwScale::small();
+    banner(
+        "BENCH e2e",
+        if smoke { "TPC-W group-commit pipeline (smoke)" } else { "TPC-W group-commit pipeline" },
+    );
+
+    let stress_only = args.iter().any(|a| a == "--stress-only");
+    let mut cells = Vec::new();
+    let mut single = None;
+    if !stress_only {
+        for &mix in &s.mixes {
+            println!("\n--- {mix} mix ({}% updates) ---", (mix.update_fraction() * 100.0).round());
+            for &n in &s.slave_counts {
+                cells.push(run_cell(mix, n, &s, scale));
+            }
+        }
+        println!("\n--- single-writer latency probe ---");
+        single = Some(run_single_writer(&s, scale));
+    }
+    let stress = if smoke {
+        None
+    } else {
+        let mut st = stress_params(&s);
+        if let Some(n) = flag_val::<usize>(&args, "--stress-clients") {
+            st.n_clients = n;
+        }
+        if let Some(t) = flag_val::<u64>(&args, "--stress-think-ms") {
+            st.think_time = Duration::from_millis(t);
+        }
+        let slaves = flag_val::<usize>(&args, "--stress-slaves").unwrap_or(16);
+        println!(
+            "\n--- stress: ordering at {slaves} slaves ({} clients, {} ms think) ---",
+            st.n_clients,
+            st.think_time.as_millis()
+        );
+        Some(run_cell(Mix::Ordering, slaves, &st, scale))
+    };
+
+    let json = to_json(&cells, single.as_ref(), stress.as_ref(), &s, smoke);
+    std::fs::write(&out_path, &json).expect("write BENCH_e2e.json");
+    println!("\nwrote {out_path}");
+}

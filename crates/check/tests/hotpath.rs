@@ -15,11 +15,11 @@ use std::time::Duration;
 use dmv_check::sync::atomic::{AtomicU64, Ordering};
 use dmv_check::sync::Mutex;
 use dmv_check::{model_result, thread, ModelOptions};
-use dmv_common::clock::{SimClock, TimeScale};
-use dmv_common::ids::TableId;
+use dmv_common::clock::{wall_deadline, SimClock, TimeScale};
+use dmv_common::ids::{NodeId, TableId};
 use dmv_common::throttle::Throttle;
 use dmv_common::version::{AtomicVersionVector, VersionVector};
-use dmv_core::PendingApplier;
+use dmv_core::{AckTracker, PendingApplier};
 use dmv_pagestore::{PageStore, Residency};
 
 fn vv(entries: &[u64]) -> VersionVector {
@@ -208,6 +208,172 @@ fn applier_advance_wakes_all_waiters() {
     })
     .expect("advance wakes every waiter");
     assert!(report.exhausted);
+}
+
+/// The master's cumulative-ack watermark protocol (`AckTracker::wait`
+/// vs `record`) must not lose wakeups: a committer that registers in
+/// `waiters` and re-checks its predicate under `wait_lock` always sees
+/// either the watermark advance or the notify. A lost wakeup would park
+/// the commit for its full ack timeout on every coalesced batch —
+/// exactly the stall the group-commit path exists to remove.
+#[test]
+fn ack_watermark_wait_has_no_lost_wakeup() {
+    let report = model_result(ModelOptions { preemptions: 2, ..Default::default() }, || {
+        let tracker = Arc::new(AckTracker::new());
+        let committer = {
+            let tracker = Arc::clone(&tracker);
+            thread::spawn(move || {
+                let ok = tracker.wait(
+                    wall_deadline(Duration::from_secs(5)),
+                    Duration::from_secs(5),
+                    || tracker.watermark(NodeId(1)) >= 1,
+                );
+                assert!(ok, "ack wait missed a recorded watermark");
+            })
+        };
+        tracker.record(NodeId(1), 1);
+        committer.join().expect("join committer");
+    })
+    .expect("ack watermark protocol loses no wakeups");
+    assert!(report.exhausted);
+}
+
+/// A departing peer must wake parked committers (the ack-leak fix):
+/// `remove` runs concurrently with a committer waiting on that peer's
+/// watermark, and the committer's "is the peer still a target?"
+/// re-check must always observe the removal.
+#[test]
+fn ack_peer_removal_wakes_parked_committers() {
+    let report = model_result(ModelOptions { preemptions: 2, ..Default::default() }, || {
+        let tracker = Arc::new(AckTracker::new());
+        tracker.set_floor(NodeId(1), 0);
+        let committer = {
+            let tracker = Arc::clone(&tracker);
+            thread::spawn(move || {
+                let ok = tracker.wait(
+                    wall_deadline(Duration::from_secs(5)),
+                    Duration::from_secs(5),
+                    || tracker.watermark(NodeId(1)) >= 1 || !tracker.has_peer(NodeId(1)),
+                );
+                assert!(ok, "ack wait missed the peer removal");
+            })
+        };
+        tracker.remove(NodeId(1));
+        committer.join().expect("join committer");
+    })
+    .expect("peer removal wakes every parked committer");
+    assert!(report.exhausted);
+}
+
+/// The group-commit coalescer (replica.rs `flush_batches`): the commit
+/// seq is assigned and the write-set enqueued under the same
+/// `commit_seq` guard, and the single flusher drains batch-by-batch
+/// until the queue is empty. Every write-set is flushed exactly once,
+/// in commit-seq order, regardless of which committer becomes the
+/// flusher.
+#[test]
+fn batch_flush_is_fifo_and_lossless() {
+    struct Coalescer {
+        seq: Mutex<u64>,
+        batch: Mutex<(Vec<u64>, bool)>, // (queue, in_flight)
+        log: Mutex<Vec<u64>>,
+    }
+    let commit = |c: &Arc<Coalescer>| {
+        // Same shape as replica.rs: seq assignment and the queue push
+        // happen under the commit_seq guard; the take-over check rides
+        // along, and the flush loop runs after the guard drops.
+        let take_over = {
+            let mut seq = c.seq.lock();
+            *seq += 1;
+            let my = *seq;
+            let mut b = c.batch.lock();
+            b.0.push(my);
+            let t = !b.1;
+            if t {
+                b.1 = true;
+            }
+            t
+        };
+        if take_over {
+            loop {
+                let frame = {
+                    let mut b = c.batch.lock();
+                    if b.0.is_empty() {
+                        b.1 = false;
+                        break;
+                    }
+                    std::mem::take(&mut b.0)
+                };
+                c.log.lock().extend(frame);
+            }
+        }
+    };
+    let report = model_result(ModelOptions::default(), move || {
+        let c = Arc::new(Coalescer {
+            seq: Mutex::new(0),
+            batch: Mutex::new((Vec::new(), false)),
+            log: Mutex::new(Vec::new()),
+        });
+        let t1 = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || commit(&c))
+        };
+        commit(&c);
+        t1.join().expect("join committer");
+        let log = c.log.lock();
+        assert_eq!(log.len(), 2, "a write-set was never flushed: {:?}", &*log);
+        assert!(log.windows(2).all(|w| w[0] < w[1]), "flush order inverted: {:?}", &*log);
+    })
+    .expect("single-flusher drain is FIFO and lossless");
+    assert!(report.exhausted);
+}
+
+/// Companion: WITHOUT the final re-check (the flusher clears
+/// `in_flight` after one drain instead of looping until the queue is
+/// empty), a write-set pushed during the drain sees `in_flight == true`,
+/// declines take-over, and is never broadcast. The checker proves the
+/// loop-until-empty invariant is load-bearing by finding the lost
+/// write-set.
+#[test]
+fn batch_flush_without_requeue_check_loses_writes() {
+    let failure = model_result(ModelOptions::default(), || {
+        let seq = Arc::new(Mutex::new(0u64));
+        let batch = Arc::new(Mutex::new((Vec::<u64>::new(), false)));
+        let log = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let commit = |seq: &Arc<Mutex<u64>>,
+                      batch: &Arc<Mutex<(Vec<u64>, bool)>>,
+                      log: &Arc<Mutex<Vec<u64>>>| {
+            let take_over = {
+                let mut seq = seq.lock();
+                *seq += 1;
+                let my = *seq;
+                let mut b = batch.lock();
+                b.0.push(my);
+                let t = !b.1;
+                if t {
+                    b.1 = true;
+                }
+                t
+            };
+            if take_over {
+                // BUG (deliberate): one drain, then surrender the
+                // flusher role without rechecking the queue.
+                let frame = std::mem::take(&mut batch.lock().0);
+                log.lock().extend(frame);
+                batch.lock().1 = false;
+            }
+        };
+        let t1 = {
+            let (seq, batch, log) = (Arc::clone(&seq), Arc::clone(&batch), Arc::clone(&log));
+            thread::spawn(move || commit(&seq, &batch, &log))
+        };
+        commit(&seq, &batch, &log);
+        t1.join().expect("join committer");
+        let log = log.lock();
+        assert_eq!(log.len(), 2, "a write-set was never flushed: {:?}", &*log);
+    })
+    .expect_err("the lost write-set must be caught");
+    assert!(failure.message.contains("never flushed"), "got: {}", failure.message);
 }
 
 /// Throttle conservation: with one permit and competing chargers, every

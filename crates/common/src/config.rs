@@ -162,9 +162,55 @@ impl Default for TcpConfig {
     }
 }
 
+/// Group-commit knobs for the master's write-set batcher
+/// (`ClusterSpec.group_commit`, plumbed into every replica).
+///
+/// The master coalesces the write-sets of commits that arrive while the
+/// previous broadcast is still in flight and flushes them as one
+/// `WriteSetBatch` frame. There are **no timer ticks**: a commit that
+/// finds no broadcast in flight flushes itself immediately (so a lone
+/// writer pays exactly the unbatched latency), and an in-flight flush
+/// drains whatever accumulated the moment it completes. These two
+/// bounds only cap how much one flush may carry:
+///
+/// * [`max_batch_count`](Self::max_batch_count) — the most write-sets
+///   one `WriteSetBatch` frame may carry. Larger batches amortize the
+///   per-message network latency over more commits but delay every
+///   commit in the batch until the whole frame is serialized; past
+///   ~64 the amortization is already >98% of the asymptote.
+/// * [`max_batch_bytes`](Self::max_batch_bytes) — a soft cap on the
+///   encoded payload of one flush. A batch closes at the first
+///   write-set that would push it past this bound (a single oversized
+///   write-set still ships alone — the cap never blocks progress).
+///   Bounds the head-of-line blocking a huge batch would impose on the
+///   serialization pipe and the burst a slave must buffer.
+///
+/// Queued commits above either bound simply wait for the next flush,
+/// which starts as soon as the current one completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupCommitConfig {
+    /// Maximum write-sets per flushed batch frame.
+    pub max_batch_count: usize,
+    /// Soft cap on the encoded bytes of one batch frame.
+    pub max_batch_bytes: usize,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig { max_batch_count: 64, max_batch_bytes: 1 << 20 }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn group_commit_defaults_sane() {
+        let g = GroupCommitConfig::default();
+        assert!(g.max_batch_count >= 1);
+        assert!(g.max_batch_bytes >= 4096);
+    }
 
     #[test]
     fn tcp_defaults_sane() {

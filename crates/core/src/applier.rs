@@ -134,24 +134,51 @@ impl PendingApplier {
     /// shared allocation (no diff is copied), and the received-version
     /// vector advances by atomic maximum.
     pub fn enqueue(&self, ws: &Arc<WriteSet>) {
-        for (idx, (id, _)) in ws.pages.iter().enumerate() {
-            // Ensure the page exists so later reads/scans can see it.
-            let _ = self.store.get_or_create(*id);
-            let q = self.queue_of(*id);
-            q.lock().push_back(PendingDiff {
-                version: ws.versions.get(id.table),
-                ws: Arc::clone(ws),
-                idx,
+        self.enqueue_batch(std::slice::from_ref(ws));
+    }
+
+    /// Enqueues a group-commit batch of write-sets (in `seq` order) with
+    /// one pass over the shard locks: entries are bucketed per shard
+    /// first, so a shard's map lock is taken once per batch instead of
+    /// once per page. The received vector advances to the *last*
+    /// write-set's versions — a master stream's vectors are monotone, so
+    /// the last one dominates the whole batch.
+    pub fn enqueue_batch(&self, sets: &[Arc<WriteSet>]) {
+        let Some(last) = sets.last() else { return };
+        let mut buckets: [Vec<(PageId, PendingDiff)>; SHARD_COUNT] =
+            std::array::from_fn(|_| Vec::new());
+        for ws in sets {
+            for (idx, (id, _)) in ws.pages.iter().enumerate() {
+                // Ensure the page exists so later reads/scans can see it.
+                let _ = self.store.get_or_create(*id);
+                buckets[shard_of(*id)].push((
+                    *id,
+                    PendingDiff { version: ws.versions.get(id.table), ws: Arc::clone(ws), idx },
+                ));
+            }
+        }
+        for (shard, entries) in buckets.into_iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            let queues: Vec<PageQueue> = {
+                let mut map = self.queues[shard].lock();
+                entries.iter().map(|(id, _)| Arc::clone(map.entry(*id).or_default())).collect()
+            };
+            for (q, (_, diff)) in queues.into_iter().zip(entries) {
+                q.lock().push_back(diff);
+            }
+        }
+        self.received.merge(&last.versions);
+        self.notify_waiters();
+        self.enqueued_writesets.fetch_add(sets.len() as u64, Ordering::Relaxed); // relaxed-ok: diagnostics counter; stream order is carried by received + wait_lock
+        for ws in sets {
+            self.emit(|node| TraceEvent::WriteSetEnqueued {
+                node,
+                txn: ws.txn,
+                versions: ws.versions.clone(),
             });
         }
-        self.received.merge(&ws.versions);
-        self.notify_waiters();
-        self.enqueued_writesets.fetch_add(1, Ordering::Relaxed); // relaxed-ok: diagnostics counter; stream order is carried by received + wait_lock
-        self.emit(|node| TraceEvent::WriteSetEnqueued {
-            node,
-            txn: ws.txn,
-            versions: ws.versions.clone(),
-        });
     }
 
     /// Wakes blocked readers, taking the wait lock only if any exist.
@@ -342,6 +369,7 @@ mod tests {
         versions.set(TableId(table), version);
         Arc::new(WriteSet {
             txn: TxnId::new(NodeId(0), seq),
+            seq,
             versions,
             pages: vec![(
                 PageId::heap(TableId(table), page_no),
@@ -376,6 +404,30 @@ mod tests {
         assert_eq!(Arc::strong_count(&w), 2);
         a.apply_all();
         assert_eq!(Arc::strong_count(&w), 1, "materializing releases the handle");
+    }
+
+    #[test]
+    fn enqueue_batch_matches_sequential_enqueues() {
+        let (store, a) = applier();
+        a.enqueue_batch(&[ws(1, 0, 1, 0, 10), ws(2, 0, 2, 0, 20), ws(3, 0, 3, 1, 30)]);
+        assert_eq!(a.pending_count(), 3);
+        assert_eq!(a.enqueued_count(), 3);
+        assert_eq!(a.received().get(TableId(0)), 3);
+        a.apply_all();
+        let p0 = store.get(PageId::heap(TableId(0), 0)).unwrap();
+        assert_eq!(p0.latch.read().version, 2);
+        assert_eq!(p0.latch.read().data()[0], 20, "both page-0 diffs applied in seq order");
+        let p1 = store.get(PageId::heap(TableId(0), 1)).unwrap();
+        assert_eq!(p1.latch.read().version, 3);
+        assert_eq!(p1.latch.read().data()[0], 30);
+    }
+
+    #[test]
+    fn enqueue_batch_of_nothing_is_a_noop() {
+        let (_store, a) = applier();
+        a.enqueue_batch(&[]);
+        assert_eq!(a.pending_count(), 0);
+        assert_eq!(a.enqueued_count(), 0);
     }
 
     #[test]
@@ -521,7 +573,7 @@ mod tests {
         versions.set(TableId(0), 1);
         let pages: Vec<(PageId, PageDiff)> =
             (0..200u32).map(|n| (PageId::heap(TableId(0), n), diff.clone())).collect();
-        let w = Arc::new(WriteSet { txn: TxnId::new(NodeId(0), 1), versions, pages });
+        let w = Arc::new(WriteSet { txn: TxnId::new(NodeId(0), 1), seq: 1, versions, pages });
         a.enqueue(&w);
         assert_eq!(a.pending_count(), 200);
         // Shards that never saw a page must stay empty; with 200 pages

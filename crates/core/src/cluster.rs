@@ -7,7 +7,7 @@ use crate::replica::{ReplicaConfig, ReplicaNode};
 use crate::scheduler::{Scheduler, SchedulerConfig, Topology, WarmupStrategy};
 use crate::trace::SharedTap;
 use dmv_common::clock::{SimClock, TimeScale};
-use dmv_common::config::{CpuProfile, DiskProfile, NetProfile};
+use dmv_common::config::{CpuProfile, DiskProfile, GroupCommitConfig, NetProfile};
 use dmv_common::error::{DmvError, DmvResult};
 use dmv_common::ids::{NodeId, ReplicaRole, TableId};
 use dmv_common::stats::TxnStats;
@@ -63,6 +63,11 @@ pub struct ClusterSpec {
     /// dead or unreachable target is abandoned after this long; the
     /// failure detector reconfigures it away.
     pub ack_timeout: Duration,
+    /// Group-commit batching bounds for masters (see
+    /// [`GroupCommitConfig`]). The defaults suit the paper's workloads;
+    /// lower `max_batch_count` to bound per-frame latency skew, raise
+    /// it on high-fan-out clusters where broadcast cost dominates.
+    pub group_commit: GroupCommitConfig,
     /// Spare warmup strategy.
     pub warmup: WarmupStrategy,
     /// Fuzzy checkpoint period, if any.
@@ -95,6 +100,7 @@ impl ClusterSpec {
             fault_latency: Duration::from_micros(8000),
             lock_timeout: Duration::from_millis(300),
             ack_timeout: Duration::from_secs(2),
+            group_commit: GroupCommitConfig::default(),
             warmup: WarmupStrategy::None,
             checkpoint_period: None,
             detect_interval: Duration::from_secs(1),
@@ -180,6 +186,7 @@ impl DmvCluster {
             fault_latency: spec.fault_latency,
             lock_timeout: spec.lock_timeout,
             ack_timeout: spec.ack_timeout,
+            group_commit: spec.group_commit,
         };
         let mut replicas = HashMap::new();
         let mut masters = Vec::new();
@@ -558,6 +565,7 @@ impl DmvCluster {
             fault_latency: self.spec.fault_latency,
             lock_timeout: self.spec.lock_timeout,
             ack_timeout: self.spec.ack_timeout,
+            group_commit: self.spec.group_commit,
         };
         let node = ReplicaNode::start(
             id,
@@ -593,6 +601,7 @@ impl DmvCluster {
             fault_latency: self.spec.fault_latency,
             lock_timeout: self.spec.lock_timeout,
             ack_timeout: self.spec.ack_timeout,
+            group_commit: self.spec.group_commit,
         };
         let node = ReplicaNode::start(
             id,

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod ack;
 pub mod applier;
 pub mod cluster;
 pub mod messages;
@@ -49,9 +50,10 @@ pub mod replica;
 pub mod scheduler;
 pub mod trace;
 
+pub use ack::AckTracker;
 pub use applier::PendingApplier;
 pub use cluster::{ClusterSpec, DmvCluster, MigrationReport, Session};
-pub use messages::{Msg, PageBatch, WriteSet};
+pub use messages::{Msg, PageBatch, WriteSet, WriteSetBatch};
 pub use replica::{ReplicaConfig, ReplicaNode};
 pub use scheduler::{Scheduler, SchedulerConfig, Topology, WarmupStrategy};
 pub use trace::{SharedTap, TraceEvent, TraceTap};

@@ -21,6 +21,11 @@ use std::sync::Arc;
 pub struct WriteSet {
     /// The committing transaction.
     pub txn: TxnId,
+    /// Master-local commit sequence number, assigned in commit order
+    /// (strictly increasing, starting at 1 for each master incarnation).
+    /// Slaves acknowledge the highest contiguously enqueued `seq` with
+    /// one cumulative [`Msg::CumAck`] instead of a per-txn ack.
+    pub seq: u64,
     /// The version vector the database enters when this commit applies.
     /// Only the entries of tables in the write set were incremented.
     pub versions: VersionVector,
@@ -31,6 +36,7 @@ pub struct WriteSet {
 impl Wire for WriteSet {
     fn encoded_len(&self) -> usize {
         self.txn.encoded_len()
+            + 8
             + self.versions.encoded_len()
             + 4
             + self.pages.iter().map(|(p, d)| p.encoded_len() + Wire::encoded_len(d)).sum::<usize>()
@@ -38,6 +44,7 @@ impl Wire for WriteSet {
 
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.txn.encode_into(out);
+        put_u64(out, self.seq);
         self.versions.encode_into(out);
         put_u32(out, self.pages.len() as u32);
         for (page, diff) in &self.pages {
@@ -48,6 +55,7 @@ impl Wire for WriteSet {
 
     fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
         let txn = TxnId::decode(r)?;
+        let seq = r.u64()?;
         let versions = VersionVector::decode(r)?;
         let count = r.u32()? as usize;
         // Minimum per entry: 8-byte PageId + 2-byte empty diff.
@@ -58,7 +66,44 @@ impl Wire for WriteSet {
             let diff = PageDiff::decode(r)?;
             pages.push((page, diff));
         }
-        Ok(WriteSet { txn, versions, pages })
+        Ok(WriteSet { txn, seq, versions, pages })
+    }
+}
+
+/// A group-commit flush: write-sets of consecutive commits coalesced
+/// while the previous broadcast was in flight, sent as one frame. The
+/// write-sets appear in strictly increasing `seq` order; a slave
+/// enqueues them all before acknowledging the last one, so a batch is
+/// all-or-nothing with respect to the cumulative-ack watermark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteSetBatch {
+    /// Coalesced write-sets, in commit (`seq`) order. Each is shared
+    /// (`Arc`) so the fan-out clones pointers, exactly as for a lone
+    /// [`Msg::WriteSet`].
+    pub sets: Vec<Arc<WriteSet>>,
+}
+
+impl Wire for WriteSetBatch {
+    fn encoded_len(&self) -> usize {
+        4 + self.sets.iter().map(|ws| ws.encoded_len()).sum::<usize>()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.sets.len() as u32);
+        for ws in &self.sets {
+            ws.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
+        let count = r.u32()? as usize;
+        // Minimum per entry: TxnId (12) + seq (8) + empty VV (2) + count (4).
+        let n = r.seq_len(count, 26)?;
+        let mut sets = Vec::with_capacity(n);
+        for _ in 0..n {
+            sets.push(Arc::new(WriteSet::decode(r)?));
+        }
+        Ok(WriteSetBatch { sets })
     }
 }
 
@@ -123,10 +168,18 @@ pub enum Msg {
     /// keep the same allocation alive in their pending queues until the
     /// diffs are materialized.
     WriteSet(Arc<WriteSet>),
-    /// Replica → master: write-set received and enqueued.
-    WriteSetAck {
-        /// The acknowledged transaction.
-        txn: TxnId,
+    /// Master → replicas: a group-commit flush of several consecutive
+    /// write-sets (strictly increasing `seq`). Shared (`Arc`) so the
+    /// fan-out clones one pointer per target for the whole batch.
+    WriteSetBatch(Arc<WriteSetBatch>),
+    /// Replica → master: cumulative acknowledgement — every write-set
+    /// with `seq` up to and including this one has been received and
+    /// enqueued. Supersedes per-txn acks: links are FIFO and the master
+    /// sends in `seq` order, so the highest seq seen is the highest
+    /// contiguous seq.
+    CumAck {
+        /// Highest contiguously enqueued commit sequence number.
+        seq: u64,
     },
     /// Support slave → joining node: migration page batch.
     PageBatch(PageBatch),
@@ -154,20 +207,27 @@ pub enum Msg {
 }
 
 /// Wire tags of the [`Msg`] variants (protocol version 1).
+///
+/// Tag 1 (`WRITE_SET_ACK`) is retired: per-txn acks were replaced by
+/// cumulative [`Msg::CumAck`] sequence acks. The tag is not reused so a
+/// stale peer's ack decodes as an unknown-tag error instead of
+/// misparsing.
 mod tag {
     pub const WRITE_SET: u8 = 0;
-    pub const WRITE_SET_ACK: u8 = 1;
     pub const PAGE_BATCH: u8 = 2;
     pub const PAGE_ID_HINT: u8 = 3;
     pub const DISCARD_ABOVE: u8 = 4;
     pub const TOPOLOGY: u8 = 5;
+    pub const WRITE_SET_BATCH: u8 = 6;
+    pub const CUM_ACK: u8 = 7;
 }
 
 impl Wire for Msg {
     fn encoded_len(&self) -> usize {
         1 + match self {
             Msg::WriteSet(ws) => ws.encoded_len(),
-            Msg::WriteSetAck { txn } => txn.encoded_len(),
+            Msg::WriteSetBatch(b) => b.encoded_len(),
+            Msg::CumAck { .. } => 8,
             Msg::PageBatch(b) => b.encoded_len(),
             Msg::PageIdHint { pages } => 4 + pages.len() * 8,
             Msg::DiscardAbove { versions } => versions.encoded_len(),
@@ -181,9 +241,13 @@ impl Wire for Msg {
                 out.push(tag::WRITE_SET);
                 ws.encode_into(out);
             }
-            Msg::WriteSetAck { txn } => {
-                out.push(tag::WRITE_SET_ACK);
-                txn.encode_into(out);
+            Msg::WriteSetBatch(b) => {
+                out.push(tag::WRITE_SET_BATCH);
+                b.encode_into(out);
+            }
+            Msg::CumAck { seq } => {
+                out.push(tag::CUM_ACK);
+                put_u64(out, *seq);
             }
             Msg::PageBatch(b) => {
                 out.push(tag::PAGE_BATCH);
@@ -214,7 +278,8 @@ impl Wire for Msg {
     fn decode(r: &mut Reader<'_>) -> DmvResult<Self> {
         match r.u8()? {
             tag::WRITE_SET => Ok(Msg::WriteSet(Arc::new(WriteSet::decode(r)?))),
-            tag::WRITE_SET_ACK => Ok(Msg::WriteSetAck { txn: TxnId::decode(r)? }),
+            tag::WRITE_SET_BATCH => Ok(Msg::WriteSetBatch(Arc::new(WriteSetBatch::decode(r)?))),
+            tag::CUM_ACK => Ok(Msg::CumAck { seq: r.u64()? }),
             tag::PAGE_BATCH => Ok(Msg::PageBatch(PageBatch::decode(r)?)),
             tag::PAGE_ID_HINT => {
                 let count = r.u32()? as usize;
@@ -253,6 +318,7 @@ mod tests {
         after[0..100].fill(fill);
         WriteSet {
             txn: TxnId::new(NodeId(0), seq),
+            seq,
             versions: VersionVector::from_entries(vec![seq, 0]),
             pages: vec![(PageId::heap(TableId(0), 0), PageDiff::compute(&before, &after))],
         }
@@ -262,7 +328,12 @@ mod tests {
     fn all_variants() -> Vec<Msg> {
         vec![
             Msg::WriteSet(Arc::new(sample_writeset(1, 7))),
-            Msg::WriteSetAck { txn: TxnId::new(NodeId(1), 1) },
+            Msg::WriteSetBatch(Arc::new(WriteSetBatch {
+                sets: vec![Arc::new(sample_writeset(2, 3)), Arc::new(sample_writeset(3, 9))],
+            })),
+            Msg::WriteSetBatch(Arc::new(WriteSetBatch { sets: vec![] })),
+            Msg::CumAck { seq: 42 },
+            Msg::CumAck { seq: 0 },
             Msg::PageBatch(PageBatch {
                 pages: vec![(PageId::index(TableId(2), 1, 5), 9, vec![3u8; PAGE_SIZE])],
                 done: true,
@@ -298,6 +369,7 @@ mod tests {
         big_after.fill(9);
         let big = WriteSet {
             txn: TxnId::new(NodeId(0), 2),
+            seq: 2,
             versions: VersionVector::new(2),
             pages: vec![(PageId::heap(TableId(0), 0), PageDiff::compute(&before, &big_after))],
         };
@@ -315,6 +387,27 @@ mod tests {
     #[test]
     fn unknown_tag_rejected() {
         assert!(matches!(decode_exact::<Msg>(&[200]), Err(DmvError::Codec(_))));
+        // The retired per-txn ack tag must not decode to anything.
+        let stale_ack = {
+            let mut b = vec![1u8];
+            TxnId::new(NodeId(1), 1).encode_into(&mut b);
+            b
+        };
+        assert!(matches!(decode_exact::<Msg>(&stale_ack), Err(DmvError::Codec(_))));
+    }
+
+    #[test]
+    fn batch_overhead_is_one_tag_and_one_count() {
+        // A batch spends one tag byte and one 4-byte count no matter how
+        // many write-sets it carries; the per-commit savings (frame
+        // headers, send syscalls, per-target ack round-trips) live in
+        // the transport and ack tiers, not in the payload encoding.
+        let a = sample_writeset(1, 7);
+        let b = sample_writeset(2, 9);
+        let batch = Msg::WriteSetBatch(Arc::new(WriteSetBatch {
+            sets: vec![Arc::new(a.clone()), Arc::new(b.clone())],
+        }));
+        assert_eq!(batch.encoded_len(), 1 + 4 + a.encoded_len() + b.encoded_len());
     }
 
     #[test]

@@ -4,13 +4,14 @@
 //! backup (stream subscription only) — and changes role during
 //! reconfiguration, exactly as the paper's nodes do.
 
+use crate::ack::AckTracker;
 use crate::applier::PendingApplier;
-use crate::messages::{Msg, PageBatch, WriteSet};
+use crate::messages::{Msg, PageBatch, WriteSet, WriteSetBatch};
 use crate::trace::{SharedTap, TraceEvent};
 use dmv_common::clock::SimClock;
-use dmv_common::config::CpuProfile;
+use dmv_common::config::{CpuProfile, GroupCommitConfig};
 use dmv_common::error::{DmvError, DmvResult};
-use dmv_common::ids::{NodeId, PageId, ReplicaRole, TxnId};
+use dmv_common::ids::{NodeId, PageId, ReplicaRole};
 use dmv_common::version::VersionVector;
 use dmv_memdb::{MemDb, MemDbOptions};
 use dmv_net::{DynTransport, Endpoint};
@@ -25,7 +26,7 @@ use dmv_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use dmv_check::sync::{Condvar, Mutex, RwLock};
 use dmv_common::clock::wall_deadline;
 use dmv_common::wire::Wire;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,6 +43,8 @@ pub struct ReplicaConfig {
     pub lock_timeout: Duration,
     /// Bound on waiting for replication acks / missing versions (wall).
     pub ack_timeout: Duration,
+    /// Group-commit batching bounds (see [`GroupCommitConfig`]).
+    pub group_commit: GroupCommitConfig,
 }
 
 impl Default for ReplicaConfig {
@@ -52,6 +55,7 @@ impl Default for ReplicaConfig {
             fault_latency: Duration::ZERO,
             lock_timeout: Duration::from_millis(250),
             ack_timeout: Duration::from_secs(2),
+            group_commit: GroupCommitConfig::default(),
         }
     }
 }
@@ -65,6 +69,20 @@ pub struct ReplicaStats {
     pub reads: AtomicU64,
     /// Reads aborted by version inconsistency on this node.
     pub version_aborts: AtomicU64,
+}
+
+/// Coalescer state for the master's group-commit pipeline.
+struct BatchState {
+    /// Write-sets committed but not yet broadcast, in seq order.
+    queue: Vec<Arc<WriteSet>>,
+    /// A flusher thread is draining the queue. Set only under the batch
+    /// lock by the thread that will flush; cleared by that thread when
+    /// the queue is empty. This single-flusher invariant is what keeps
+    /// broadcasts totally ordered by seq without a separate lock.
+    in_flight: bool,
+    /// Test hook (DST): while true, pushes accumulate and nobody
+    /// becomes flusher; `release_flush` drains on the caller's thread.
+    hold: bool,
 }
 
 /// A [`StatementRunner`] bound to one open transaction on a replica,
@@ -95,14 +113,23 @@ pub struct ReplicaNode {
     shutdown: Arc<AtomicBool>,
     // master state
     dbversion: Mutex<VersionVector>,
-    commit_seq: Mutex<()>,
-    /// Serializes broadcasts in version order; always acquired while
-    /// still holding `commit_seq` (lock chaining), never the reverse.
-    bcast: Mutex<()>,
+    /// The commit critical section; its value is the commit sequence
+    /// counter, so seq assignment order *is* commit order by
+    /// construction.
+    commit_seq: Mutex<u64>,
     targets: RwLock<Vec<NodeId>>,
-    acks: Mutex<HashMap<TxnId, HashSet<NodeId>>>,
-    acks_cv: Condvar,
+    /// Write-set coalescer. A committer pushes while still holding
+    /// `commit_seq` (lock chaining — queue order is seq order) and the
+    /// first pusher to find no flush in flight becomes the flusher,
+    /// draining the queue batch by batch until it is empty. No timers:
+    /// a lone commit flushes itself immediately; under load, commits
+    /// accumulated during the in-flight broadcast go out as one
+    /// [`Msg::WriteSetBatch`] the moment it completes.
+    batch: Mutex<BatchState>,
+    /// Per-peer cumulative ack watermarks (replaces per-txn ack sets).
+    acks: AckTracker,
     ack_timeout: Duration,
+    group_commit: GroupCommitConfig,
     // migration (joiner side)
     migration_done: Mutex<bool>,
     migration_cv: Condvar,
@@ -151,12 +178,12 @@ impl ReplicaNode {
             alive: Arc::new(AtomicBool::new(true)),
             shutdown: Arc::new(AtomicBool::new(false)),
             dbversion: Mutex::new(VersionVector::new(schema.len())),
-            commit_seq: Mutex::new(()),
-            bcast: Mutex::new(()),
+            commit_seq: Mutex::new(0),
             targets: RwLock::new(Vec::new()),
-            acks: Mutex::new(HashMap::new()),
-            acks_cv: Condvar::new(),
+            batch: Mutex::new(BatchState { queue: Vec::new(), in_flight: false, hold: false }),
+            acks: AckTracker::new(),
             ack_timeout: cfg.ack_timeout,
+            group_commit: cfg.group_commit,
             migration_done: Mutex::new(false),
             migration_cv: Condvar::new(),
             checkpoint: Mutex::new(CheckpointImage::empty()),
@@ -189,15 +216,13 @@ impl ReplicaNode {
     fn handle_msg(&self, from: NodeId, msg: Msg, endpoint: &dyn Endpoint<Msg>) {
         match msg {
             Msg::WriteSet(ws) => {
-                let txn = ws.txn;
-                self.applier.enqueue(&ws);
-                let ack = Msg::WriteSetAck { txn };
-                let size = ack.encoded_len();
-                let _ = endpoint.send(from, ack, size);
+                self.enqueue_and_ack(from, std::slice::from_ref(&ws), endpoint);
             }
-            Msg::WriteSetAck { txn } => {
-                self.acks.lock().entry(txn).or_default().insert(from);
-                self.acks_cv.notify_all();
+            Msg::WriteSetBatch(batch) => {
+                self.enqueue_and_ack(from, &batch.sets, endpoint);
+            }
+            Msg::CumAck { seq } => {
+                self.acks.record(from, seq);
             }
             Msg::PageBatch(batch) => {
                 self.apply_page_batch(&batch);
@@ -220,6 +245,19 @@ impl ReplicaNode {
             }
             Msg::Topology { .. } => {}
         }
+    }
+
+    /// Slave side of replication: enqueue the frame's write-sets (one
+    /// shard-lock pass for the whole batch) and acknowledge the last
+    /// seq cumulatively. The master sends frames in strictly increasing
+    /// seq order over a FIFO link, so the last seq of a frame *is* the
+    /// highest contiguously received seq — no per-sender bookkeeping.
+    fn enqueue_and_ack(&self, from: NodeId, sets: &[Arc<WriteSet>], endpoint: &dyn Endpoint<Msg>) {
+        let Some(last) = sets.last() else { return };
+        self.applier.enqueue_batch(sets);
+        let ack = Msg::CumAck { seq: last.seq };
+        let size = ack.encoded_len();
+        let _ = endpoint.send(from, ack, size);
     }
 
     fn apply_page_batch(&self, batch: &PageBatch) {
@@ -289,9 +327,13 @@ impl ReplicaNode {
         self.targets.read().clone()
     }
 
-    /// Replaces the replication target list (on a master).
+    /// Replaces the replication target list (on a master). Waiting
+    /// commits are woken to re-evaluate against the new list, so a
+    /// commit blocked on a just-removed target completes immediately
+    /// instead of timing out.
     pub fn set_targets(&self, t: Vec<NodeId>) {
         *self.targets.write() = t;
+        self.acks.notify();
     }
 
     /// Adds a replication target, returning the current database version
@@ -302,7 +344,11 @@ impl ReplicaNode {
     /// effects reach the joiner through data migration, which waits on a
     /// support slave until the returned vector has fully arrived.
     pub fn subscribe(&self, node: NodeId) -> VersionVector {
-        let _g = self.commit_seq.lock();
+        let g = self.commit_seq.lock();
+        // Everything at or below the current commit seq reaches the
+        // joiner via data migration, not acks: floor its watermark so
+        // in-flight commits don't wait on acks it will never send.
+        self.acks.set_floor(node, *g);
         let mut t = self.targets.write();
         if !t.contains(&node) {
             t.push(node);
@@ -310,14 +356,47 @@ impl ReplicaNode {
         self.dbversion.lock().clone()
     }
 
-    /// Removes a replication target.
+    /// Removes a replication target, dropping its ack state and waking
+    /// any commit blocked on it (a dead target must not stall commits
+    /// until the ack timeout).
     pub fn unsubscribe(&self, node: NodeId) {
         self.targets.write().retain(|n| *n != node);
+        self.acks.remove(node);
     }
 
     /// The master's current database version vector.
     pub fn dbversion(&self) -> VersionVector {
         self.dbversion.lock().clone()
+    }
+
+    /// Test hook (DST): suspends flushing so commits accumulate in the
+    /// coalescer queue without going on the wire. Pair with
+    /// [`ReplicaNode::release_flush`].
+    pub fn hold_flush(&self) {
+        self.batch.lock().hold = true;
+    }
+
+    /// Test hook (DST): resumes flushing and drains any held queue on
+    /// the calling thread — so a fault trigger armed on this node's
+    /// outgoing sends fires deterministically mid-batch.
+    pub fn release_flush(&self) {
+        let flusher = {
+            let mut b = self.batch.lock();
+            b.hold = false;
+            let take_over = !b.in_flight && !b.queue.is_empty();
+            if take_over {
+                b.in_flight = true;
+            }
+            take_over
+        };
+        if flusher {
+            self.flush_batches();
+        }
+    }
+
+    /// Write-sets committed but not yet broadcast (test hook).
+    pub fn pending_flush_count(&self) -> usize {
+        self.batch.lock().queue.len()
     }
 
     /// Executes an update transaction as master via a statement-driving
@@ -349,15 +428,16 @@ impl ReplicaNode {
             txn.commit(None);
             return Ok(self.dbversion());
         }
-        // Pre-commit (Figure 2): all page locks stay held until the
-        // local commit after the ack wait, but the global commit_seq
-        // section covers only diff capture and the version-vector bump.
-        // The broadcast chains onto `bcast` — acquired before commit_seq
-        // is released, so write-sets enter every FIFO link in version
-        // order — letting the next commit capture its diffs while this
-        // one is still on the wire, and the ack wait runs with no
+        // Pre-commit (Figure 2) with group commit: the commit_seq
+        // section covers diff capture, the version-vector bump and the
+        // push into the coalescer queue — so queue order is seq order.
+        // The first pusher to find no flush in flight becomes the
+        // flusher: a lone commit under low load broadcasts itself
+        // immediately (no added latency), while commits arriving during
+        // an in-flight broadcast coalesce into one WriteSetBatch frame
+        // flushed the moment it completes. The ack wait runs with no
         // commit-path lock held at all.
-        let seq_guard = self.commit_seq.lock();
+        let mut seq_guard = self.commit_seq.lock();
         let pages = txn.precommit();
         let mut dbv = self.dbversion.lock();
         for t in txn.write_tables() {
@@ -365,20 +445,25 @@ impl ReplicaNode {
         }
         let new_v = dbv.clone();
         drop(dbv);
+        *seq_guard += 1;
+        let seq = *seq_guard;
         // The one deep allocation per commit: every target link and
         // every slave queue shares this Arc.
-        let ws = Arc::new(WriteSet { txn: txn.id(), versions: new_v.clone(), pages });
-        let targets_now = self.targets.read().clone();
-        let bcast_guard = self.bcast.lock();
+        let ws = Arc::new(WriteSet { txn: txn.id(), seq, versions: new_v.clone(), pages });
+        let flusher = {
+            let mut b = self.batch.lock();
+            b.queue.push(ws);
+            let take_over = !b.in_flight && !b.hold;
+            if take_over {
+                b.in_flight = true;
+            }
+            take_over
+        };
         drop(seq_guard);
-        // One fan-out call: the transport encodes once and shares the
-        // bytes across links; a dead target is skipped (reconfiguration
-        // handles it).
-        let msg = Msg::WriteSet(Arc::clone(&ws));
-        let size = msg.encoded_len();
-        self.net.broadcast(self.id, &targets_now, &msg, size);
-        drop(bcast_guard);
-        self.wait_for_acks(ws.txn, &targets_now);
+        if flusher {
+            self.flush_batches();
+        }
+        self.wait_for_acks(seq);
         if !self.is_alive() {
             // Failed before confirming: a new master will tell replicas to
             // discard the partially propagated transaction.
@@ -408,23 +493,61 @@ impl ReplicaNode {
         Ok((results, version))
     }
 
-    fn wait_for_acks(&self, txn: TxnId, targets: &[NodeId]) {
-        let deadline = wall_deadline(self.ack_timeout);
-        let mut acks = self.acks.lock();
+    /// Drains the coalescer queue, one bounded batch per iteration,
+    /// until it is empty; only the thread that set `in_flight` runs
+    /// this, so broadcasts leave in seq order with no extra lock. The
+    /// batch lock is never held across a broadcast.
+    fn flush_batches(&self) {
         loop {
-            let got = acks.get(&txn);
-            let all = targets
-                .iter()
-                .all(|t| !self.net.is_alive(*t) || got.is_some_and(|s| s.contains(t)));
-            if all {
-                acks.remove(&txn);
-                return;
-            }
-            if self.acks_cv.wait_until(&mut acks, deadline).timed_out() {
-                acks.remove(&txn);
-                return; // dead targets are reconfigured away
-            }
+            let sets = {
+                let mut b = self.batch.lock();
+                if b.queue.is_empty() {
+                    b.in_flight = false;
+                    return;
+                }
+                let mut take = 1;
+                let mut bytes = b.queue[0].encoded_len();
+                while take < b.queue.len()
+                    && take < self.group_commit.max_batch_count
+                    && bytes + b.queue[take].encoded_len() <= self.group_commit.max_batch_bytes
+                {
+                    bytes += b.queue[take].encoded_len();
+                    take += 1;
+                }
+                let rest = b.queue.split_off(take);
+                std::mem::replace(&mut b.queue, rest)
+            };
+            let targets_now = self.targets.read().clone();
+            // One fan-out call: the transport encodes once and shares
+            // the bytes across links; a dead target is skipped
+            // (reconfiguration handles it). A singleton flush keeps the
+            // plain WriteSet frame so low-load wire cost is unchanged.
+            let msg = match sets.len() {
+                1 => Msg::WriteSet(sets.into_iter().next().expect("len checked")), // unwrap-ok: length is 1
+                _ => Msg::WriteSetBatch(Arc::new(WriteSetBatch { sets })),
+            };
+            let size = msg.encoded_len();
+            self.net.broadcast(self.id, &targets_now, &msg, size);
         }
+    }
+
+    /// Waits until every live target's cumulative watermark covers
+    /// `seq`. The target list is re-read on every check so membership
+    /// changes (a dead slave removed, a spare promoted in) take effect
+    /// on already-waiting commits instead of stalling them to the full
+    /// ack timeout. Slice-bounded waits re-check liveness even when no
+    /// ack arrives to wake us.
+    fn wait_for_acks(&self, seq: u64) {
+        let deadline = wall_deadline(self.ack_timeout);
+        let slice =
+            (self.ack_timeout / 8).clamp(Duration::from_millis(1), Duration::from_millis(25));
+        // On timeout: dead targets are reconfigured away.
+        let _ = self.acks.wait(deadline, slice, || {
+            self.targets
+                .read()
+                .iter()
+                .all(|t| !self.net.is_alive(*t) || self.acks.watermark(*t) >= seq)
+        });
     }
 
     /// Executes a read-only transaction at the scheduler-assigned tag,

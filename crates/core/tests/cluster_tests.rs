@@ -527,3 +527,72 @@ fn abort_rate_stays_low_with_enough_slaves() {
     assert!(rate < 0.05, "abort rate {rate} should stay low (paper: < 2.5%)");
     cluster.shutdown();
 }
+
+#[test]
+fn slave_death_mid_ack_wait_does_not_stall_commit() {
+    // Regression test for the ack-state leak on membership change: a
+    // commit whose broadcast target dies between the send and its ack
+    // must complete as soon as the death is noticed — not sit out the
+    // full ack timeout. The timeout here is deliberately huge so a
+    // regression shows up as a glaring stall, and `hold_flush` pins the
+    // kill deterministically inside the broadcast→ack window.
+    let mut spec = ClusterSpec::fast_test(schema());
+    spec.n_slaves = 1;
+    spec.ack_timeout = Duration::from_secs(30);
+    let cluster = DmvCluster::start(spec);
+    let rows: Vec<Vec<Value>> =
+        (0..100).map(|i| vec![i.into(), format!("owner{}", i % 10).into(), 1000.into()]).collect();
+    cluster.load_rows(TableId(0), rows).unwrap();
+    cluster.finish_load();
+
+    let master = cluster.master(0);
+    let victim = cluster.slave_ids()[0];
+    master.hold_flush();
+    let c2 = Arc::clone(&cluster);
+    let h = std::thread::spawn(move || {
+        let start = dmv_common::clock::wall_now();
+        c2.session().update(&[deposit(1, 1)]).unwrap();
+        start.elapsed()
+    });
+    // Wait until the commit is parked in the coalescer queue.
+    while master.pending_flush_count() == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // The only ack source dies; the broadcast then goes nowhere.
+    cluster.kill_replica(victim);
+    master.release_flush();
+    cluster.detect_and_reconfigure();
+    let elapsed = h.join().unwrap();
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "commit stalled {elapsed:?} waiting on a dead target's acks"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_commits_coalesce_and_all_replicate() {
+    // Group-commit smoke: many writers commit concurrently, every
+    // update must survive batching (no write-set lost or reordered in
+    // the coalescer) and reach every slave.
+    let cluster = start_cluster(2, 0);
+    let mut writers = Vec::new();
+    for t in 0..8i64 {
+        let c = Arc::clone(&cluster);
+        writers.push(std::thread::spawn(move || {
+            let s = c.session();
+            for _ in 0..10 {
+                s.update_retry(&[deposit(t, 1)], 10).unwrap();
+            }
+        }));
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
+    let session = cluster.session();
+    for t in 0..8i64 {
+        let rs = session.read_retry(&[read_balance(t)], 10).unwrap();
+        assert_eq!(rs[0].rows[0][0], Value::Int(1010), "account {t}");
+    }
+    cluster.shutdown();
+}

@@ -6,7 +6,7 @@
 use dmv_common::ids::{NodeId, PageId, PageSpace, TableId, TxnId};
 use dmv_common::version::VersionVector;
 use dmv_common::wire::{decode_exact, Wire};
-use dmv_core::messages::{Msg, PageBatch, WriteSet};
+use dmv_core::messages::{Msg, PageBatch, WriteSet, WriteSetBatch};
 use dmv_pagestore::diff::{DiffRun, PageDiff};
 use dmv_pagestore::PAGE_SIZE;
 use proptest::prelude::*;
@@ -61,10 +61,16 @@ fn arb_diff() -> impl Strategy<Value = PageDiff> {
 fn arb_write_set() -> impl Strategy<Value = WriteSet> {
     (
         arb_txn_id(),
+        any::<u64>(),
         arb_version_vector(),
         proptest::collection::vec((arb_page_id(), arb_diff()), 0..4),
     )
-        .prop_map(|(txn, versions, pages)| WriteSet { txn, versions, pages })
+        .prop_map(|(txn, seq, versions, pages)| WriteSet { txn, seq, versions, pages })
+}
+
+fn arb_write_set_batch() -> impl Strategy<Value = WriteSetBatch> {
+    proptest::collection::vec(arb_write_set().prop_map(Arc::new), 0..4)
+        .prop_map(|sets| WriteSetBatch { sets })
 }
 
 fn arb_image() -> impl Strategy<Value = Vec<u8>> {
@@ -84,7 +90,8 @@ fn arb_page_batch() -> impl Strategy<Value = PageBatch> {
 fn arb_msg() -> impl Strategy<Value = Msg> {
     prop_oneof![
         arb_write_set().prop_map(|ws| Msg::WriteSet(Arc::new(ws))),
-        arb_txn_id().prop_map(|txn| Msg::WriteSetAck { txn }),
+        arb_write_set_batch().prop_map(|b| Msg::WriteSetBatch(Arc::new(b))),
+        any::<u64>().prop_map(|seq| Msg::CumAck { seq }),
         arb_page_batch().prop_map(Msg::PageBatch),
         proptest::collection::vec(arb_page_id(), 0..8).prop_map(|pages| Msg::PageIdHint { pages }),
         arb_version_vector().prop_map(|versions| Msg::DiscardAbove { versions }),
@@ -166,12 +173,14 @@ proptest! {
     #[test]
     fn component_types_roundtrip(
         ws in arb_write_set(),
+        wsb in arb_write_set_batch(),
         batch in arb_page_batch(),
         diff in arb_diff(),
         vv in arb_version_vector(),
         (page, txn) in (arb_page_id(), arb_txn_id()),
     ) {
         roundtrip(&ws);
+        roundtrip(&wsb);
         roundtrip(&batch);
         roundtrip(&diff);
         roundtrip(&vv);
@@ -183,6 +192,7 @@ proptest! {
     fn random_bytes_never_panic_the_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
         let _ = decode_exact::<Msg>(&bytes);
         let _ = decode_exact::<WriteSet>(&bytes);
+        let _ = decode_exact::<WriteSetBatch>(&bytes);
         let _ = decode_exact::<PageBatch>(&bytes);
         let _ = decode_exact::<VersionVector>(&bytes);
         let _ = decode_exact::<PageDiff>(&bytes);
@@ -200,7 +210,7 @@ proptest! {
     #[test]
     fn corrupted_tag_never_decodes_to_the_original(msg in arb_msg(), flip in any::<u8>()) {
         let mut bytes = msg.encode();
-        let flip = flip | 0x80; // tags are < 6, so this always changes the tag
+        let flip = flip | 0x80; // tags are < 8, so this always changes the tag
         bytes[0] ^= flip;
         match decode_exact::<Msg>(&bytes) {
             // Unknown tag: rejected.

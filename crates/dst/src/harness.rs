@@ -332,6 +332,9 @@ impl Harness<'_> {
                 format!("killed={id:?}")
             }
             Event::KillMasterMid { class, sends } => self.kill_master_mid(*class, *sends),
+            Event::KillMasterMidBatch { class, sends } => {
+                self.kill_master_mid_batch(*class, *sends)
+            }
             Event::Detect => self.detect(),
             Event::Reintegrate => match self.dead_pool.first().copied() {
                 None => "none".to_string(),
@@ -619,6 +622,86 @@ impl Harness<'_> {
         format!("target={m:?} fired={fired} probes=[{}]", probe_outcomes.join("; "))
     }
 
+    /// Crashes the class master in the middle of a *batched* broadcast:
+    /// the flusher is held while two committers on disjoint tables park
+    /// in their ack waits, so both write-sets coalesce into one
+    /// `WriteSetBatch` frame; releasing the flusher with the trigger
+    /// armed kills the master partway through the frame's target list.
+    /// Both commits then abort (`NodeFailed` — the master died before
+    /// acking), so the scheduler's committed watermark never advances
+    /// and fail-over must discard the whole batch on every survivor.
+    fn kill_master_mid_batch(&mut self, class: usize, sends: u32) -> String {
+        // Both probe tables must hash to the same master; generated
+        // schedules guarantee this, hand-written ones get a guard.
+        if self.s.config.workload != Workload::Bank || self.s.config.n_classes != 1 {
+            return "skipped (needs single-class bank)".to_string();
+        }
+        let m = self.master_id(class);
+        let Some(node) = self.cluster.replica(m) else {
+            return "none".to_string();
+        };
+        node.hold_flush();
+        let (s1, s2) = (self.cluster.session(), self.cluster.session());
+        // Disjoint tables: the page-level 2PL locks never conflict, so
+        // both threads reach their ack waits with write-sets queued.
+        let t1 = std::thread::spawn(move || s1.update(&[add_int(T_ACCT, 0, 1)]).map(|_| ()));
+        let t2 = std::thread::spawn(move || s2.update(&[add_int(T_CTR, 0, 1)]).map(|_| ()));
+        while node.pending_flush_count() < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.fault.kill_after_sends(m, sends);
+        // The flush (and therefore the crash trigger) runs on this
+        // thread: the kill lands deterministically mid-broadcast.
+        node.release_flush();
+        let results = [
+            (T_ACCT, t1.join().expect("committer thread panicked")),
+            (T_CTR, t2.join().expect("committer thread panicked")),
+        ];
+        let drained = self.drain_ops();
+        let fired = self.killed.lock().contains(&m);
+        let mut outcomes = Vec::new();
+        for (table, res) in results {
+            match res {
+                Ok(()) => {
+                    // Trigger did not fire (oversized `sends`): the
+                    // commit is real, so the model must follow it.
+                    let v = drained
+                        .iter()
+                        .filter_map(|e| match e {
+                            TraceEvent::UpdateCommitted { version, .. } => Some(version.get(table)),
+                            _ => None,
+                        })
+                        .max();
+                    let Some(v) = v else {
+                        self.fail("committed update produced no UpdateCommitted event".into());
+                        continue;
+                    };
+                    self.commits += 1;
+                    let model = self.model.as_mut().expect("bank events imply bank model");
+                    let out = if table == T_ACCT {
+                        model.commit_accounts(v, |t| *t.entry(0).or_insert(0) += 1)
+                    } else {
+                        model.commit_counters(v, |t| *t.entry(0).or_insert(0) += 1)
+                    };
+                    if let Err(msg) = out {
+                        self.fail(msg);
+                    }
+                    outcomes.push(format!("commit v{}={v}", table.0));
+                }
+                Err(e) => {
+                    self.aborts += 1;
+                    outcomes.push(format!("abort={}", err_label(&e)));
+                }
+            }
+        }
+        if fired {
+            self.pending_dead.push(m);
+        } else {
+            self.fault.clear_triggers();
+        }
+        format!("target={m:?} fired={fired} outcomes=[{}]", outcomes.join("; "))
+    }
+
     fn detect(&mut self) -> String {
         self.cluster.detect_and_reconfigure();
         let drained = self.drain_ops();
@@ -636,10 +719,45 @@ impl Harness<'_> {
                 _ => {}
             }
         }
+        if drained.iter().any(|e| matches!(e, TraceEvent::Promoted { .. })) {
+            self.check_no_partial_batch_survived();
+        }
         if notes.is_empty() {
             "-".to_string()
         } else {
             notes.join(" ")
+        }
+    }
+
+    /// §4.2 all-or-nothing oracle, checked after every fail-over: a
+    /// write-set (or any prefix of a batch) that was broadcast but
+    /// never acknowledged must not survive the discard on any live
+    /// replica. The harness is quiescent at `detect` boundaries, so
+    /// every live replica's received-version watermark must sit at or
+    /// below the scheduler's committed watermark — anything above it is
+    /// a partially replicated batch leaking through fail-over.
+    fn check_no_partial_batch_survived(&mut self) {
+        let latest = self.cluster.latest_version();
+        let mut ids = self.alive_slaves();
+        for class in 0..self.s.config.n_classes.max(1) {
+            ids.push(self.master_id(class));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            let Some(r) = self.cluster.replica(id) else { continue };
+            if !r.is_alive() {
+                continue;
+            }
+            let received = r.applier().received();
+            if !latest.dominates(&received) {
+                self.fail(format!(
+                    "partially replicated batch survived fail-over: node {id:?} \
+                     received {} but the committed watermark is {}",
+                    fmt_vv(&received),
+                    fmt_vv(&latest)
+                ));
+            }
         }
     }
 

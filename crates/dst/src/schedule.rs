@@ -104,6 +104,17 @@ pub enum Event {
     /// receive the write-set, the rest never do, and the commit is
     /// never acknowledged.
     KillMasterMid { class: usize, sends: u32 },
+    /// Like `KillMasterMid`, but the crash lands inside a *batched*
+    /// broadcast: the group-commit flusher is held while two concurrent
+    /// updates (accounts + counters, so their page locks never
+    /// conflict) coalesce into one `WriteSetBatch` frame, then released
+    /// with the crash armed on the `sends`-th outbound send. Some
+    /// replicas enqueue the whole batch, the rest none of it, and
+    /// neither commit is acknowledged — fail-over must discard the
+    /// partial batch on every survivor (all-or-nothing). Only generated
+    /// for single-class bank schedules (both probe tables share one
+    /// master).
+    KillMasterMidBatch { class: usize, sends: u32 },
     /// Run one failure-detector sweep (promotion, spare activation).
     Detect,
     /// Reintegrate the oldest detected-dead node via page migration.
@@ -144,6 +155,9 @@ impl fmt::Display for Event {
             Event::KillMaster { class } => write!(f, "kill-master class={class}"),
             Event::KillMasterMid { class, sends } => {
                 write!(f, "kill-master-mid class={class} sends={sends}")
+            }
+            Event::KillMasterMidBatch { class, sends } => {
+                write!(f, "kill-master-mid-batch class={class} sends={sends}")
             }
             Event::Detect => write!(f, "detect"),
             Event::Reintegrate => write!(f, "reintegrate"),
@@ -201,6 +215,10 @@ impl Event {
             "kill-master-mid" => {
                 Event::KillMasterMid { class: get("class")? as usize, sends: get("sends")? as u32 }
             }
+            "kill-master-mid-batch" => Event::KillMasterMidBatch {
+                class: get("class")? as usize,
+                sends: get("sends")? as u32,
+            },
             "detect" => Event::Detect,
             "reintegrate" => Event::Reintegrate,
             "integrate-fresh" => Event::IntegrateFresh,
@@ -399,7 +417,19 @@ fn gen_fault(
                 st.kill_age = Some(0);
                 let mid = rng.gen_range(0..2) == 0;
                 return Some(if mid {
-                    Event::KillMasterMid { class, sends: rng.gen_range(1..=3) }
+                    // The batched variant needs both probe tables on one
+                    // master, so it is only legal for single-class bank
+                    // shapes. With ≥2 live targets a one-frame batch
+                    // broadcast makes ≥2 sends, so sends ∈ 1..=2 always
+                    // fires mid-broadcast.
+                    if config.workload == Workload::Bank
+                        && config.n_classes == 1
+                        && rng.gen_range(0..2) == 0
+                    {
+                        Event::KillMasterMidBatch { class, sends: rng.gen_range(1..=2) }
+                    } else {
+                        Event::KillMasterMid { class, sends: rng.gen_range(1..=3) }
+                    }
                 } else {
                     Event::KillMaster { class }
                 });
@@ -467,6 +497,26 @@ mod tests {
     }
 
     #[test]
+    fn generator_emits_batched_mid_kill() {
+        let found = (0..200).any(|seed| {
+            let s = for_seed(seed);
+            s.events.iter().any(|e| matches!(e, Event::KillMasterMidBatch { .. }))
+        });
+        assert!(found, "no seed in 0..200 generates kill-master-mid-batch");
+    }
+
+    #[test]
+    fn batched_mid_kill_only_targets_single_class_bank_shapes() {
+        for seed in 0..200 {
+            let s = for_seed(seed);
+            if s.events.iter().any(|e| matches!(e, Event::KillMasterMidBatch { .. })) {
+                assert_eq!(s.config.workload, Workload::Bank, "seed {seed}");
+                assert_eq!(s.config.n_classes, 1, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
     fn kills_are_detected_within_two_events() {
         for seed in 0..50 {
             let s = for_seed(seed);
@@ -475,7 +525,8 @@ mod tests {
                 match ev {
                     Event::KillSlave { .. }
                     | Event::KillMaster { .. }
-                    | Event::KillMasterMid { .. } => age = Some(0),
+                    | Event::KillMasterMid { .. }
+                    | Event::KillMasterMidBatch { .. } => age = Some(0),
                     Event::Detect => age = None,
                     _ => {
                         if let Some(a) = age.as_mut() {

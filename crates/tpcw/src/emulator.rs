@@ -70,6 +70,10 @@ pub struct EmulatorReport {
     pub mean_latency: Duration,
     /// 90th percentile latency.
     pub p90_latency: Duration,
+    /// Median latency of update-class interactions only (paper time).
+    pub update_p50_latency: Duration,
+    /// 99th percentile latency of update-class interactions only.
+    pub update_p99_latency: Duration,
     /// Full-run throughput series (window start is relative to the run
     /// start, i.e. including warm-up).
     pub series: Vec<SeriesPoint>,
@@ -78,6 +82,7 @@ pub struct EmulatorReport {
 struct Shared {
     series: ThroughputSeries,
     hist: LatencyHistogram,
+    update_hist: LatencyHistogram,
     interactions: AtomicU64,
     updates: AtomicU64,
     errors: AtomicU64,
@@ -105,6 +110,8 @@ impl EmulatorHandle {
             wips: interactions as f64 / self.cfg.duration.as_secs_f64(),
             mean_latency: s.hist.mean(),
             p90_latency: s.hist.percentile(0.9),
+            update_p50_latency: s.update_hist.percentile(0.5),
+            update_p99_latency: s.update_hist.percentile(0.99),
             series: s.series.points(),
         }
     }
@@ -183,6 +190,7 @@ pub fn spawn_emulator(
     let shared = Arc::new(Shared {
         series: ThroughputSeries::new(horizon, cfg.series_window),
         hist: LatencyHistogram::new(),
+        update_hist: LatencyHistogram::new(),
         interactions: AtomicU64::new(0),
         updates: AtomicU64::new(0),
         errors: AtomicU64::new(0),
@@ -237,6 +245,7 @@ pub fn spawn_emulator(
                                 if kind.is_update() {
                                     // relaxed-ok: benchmark tally; aggregated only after worker join()
                                     shared.updates.fetch_add(1, Ordering::Relaxed);
+                                    shared.update_hist.record(latency);
                                 }
                                 shared.hist.record(latency);
                             }

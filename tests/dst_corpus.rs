@@ -13,7 +13,7 @@
 
 use dmv_dst::harness::run_schedule;
 use dmv_dst::repro::{from_repro, to_repro};
-use dmv_dst::schedule::{for_seed, Workload};
+use dmv_dst::schedule::{for_seed, Event, Schedule, ScheduleConfig, Workload};
 
 fn check_seed(seed: u64) {
     let s = for_seed(seed);
@@ -82,6 +82,67 @@ fn seed_5_tpcw_fresh_integration() {
 #[test]
 fn seed_39_tpcw_partition_and_heal() {
     check_seed(39);
+}
+
+/// Hand-written schedule for the group-commit fail-over hazard: two
+/// concurrent updates coalesce into one `WriteSetBatch` frame and the
+/// master dies on the second of two sends — the first slave enqueues
+/// the whole batch, the second never sees it. Neither commit was
+/// acknowledged, so fail-over must discard the whole batch on every
+/// survivor (§4.2 all-or-nothing); the reads before and after the kill
+/// pin the surviving state to the model.
+fn mid_batch_crash_schedule() -> Schedule {
+    let config = ScheduleConfig { n_classes: 1, ..ScheduleConfig::bank() };
+    Schedule {
+        seed: 777,
+        config,
+        events: vec![
+            Event::Deposit { client: 0, acct: 0, amount: 7 },
+            Event::Bump { client: 1, ctr: 0 },
+            Event::Read { client: 0 },
+            Event::KillMasterMidBatch { class: 0, sends: 2 },
+            Event::Detect,
+            Event::Read { client: 1 },
+            Event::Reintegrate,
+            Event::Deposit { client: 0, acct: 1, amount: 3 },
+            Event::Bump { client: 1, ctr: 1 },
+            Event::Read { client: 0 },
+        ],
+    }
+}
+
+#[test]
+fn fixed_mid_batch_crash_is_all_or_nothing() {
+    let s = mid_batch_crash_schedule();
+    let r = run_schedule(&s);
+    assert!(
+        r.passed(),
+        "mid-batch crash schedule failed {} oracle(s):\n  {}\ntrace:\n{}",
+        r.failures.len(),
+        r.failures.join("\n  "),
+        r.trace_text()
+    );
+    // The kill must actually have fired mid-broadcast — a silently
+    // disarmed trigger would make this schedule test nothing.
+    let kill_line = r
+        .trace
+        .iter()
+        .find(|l| l.contains("kill-master-mid-batch"))
+        .expect("trace records the mid-batch kill");
+    assert!(kill_line.contains("fired=true"), "trigger never fired: {kill_line}");
+    assert!(kill_line.contains("abort=NodeFailed"), "commits survived the crash: {kill_line}");
+    // Determinism: the crash lands on the same send of the same frame
+    // every run.
+    let r2 = run_schedule(&s);
+    assert_eq!(r.trace_text(), r2.trace_text(), "mid-batch schedule is not deterministic");
+}
+
+#[test]
+fn mid_batch_schedule_round_trips_through_repro_files() {
+    let s = mid_batch_crash_schedule();
+    let back = from_repro(&to_repro(&s)).unwrap();
+    assert_eq!(back.config, s.config);
+    assert_eq!(back.events, s.events, "mid-batch repro round-trip drift");
 }
 
 /// Same seed ⇒ byte-identical trace: the whole point of the harness.

@@ -3,6 +3,7 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+mod bench_e2e;
 mod dst;
 mod lint;
 
@@ -13,13 +14,14 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("lint") => lint::run(&args.collect::<Vec<_>>()),
         Some("dst") => dst::run(&args.collect::<Vec<_>>()),
+        Some("bench-e2e") => bench_e2e::run(&args.collect::<Vec<_>>()),
         Some(other) => {
-            eprintln!("unknown task `{other}`; available tasks: lint, dst");
+            eprintln!("unknown task `{other}`; available tasks: lint, dst, bench-e2e");
             ExitCode::FAILURE
         }
         None => {
             eprintln!(
-                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the repo-specific lint pass\n  dst     run the deterministic fault-schedule explorer"
+                "usage: cargo xtask <task>\n\ntasks:\n  lint       run the repo-specific lint pass\n  dst        run the deterministic fault-schedule explorer\n  bench-e2e  run the end-to-end TPC-W throughput benchmark"
             );
             ExitCode::FAILURE
         }
