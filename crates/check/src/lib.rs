@@ -16,7 +16,10 @@
 //!   [`sync::atomic`], [`thread::spawn`]. Under a normal build they are
 //!   zero-cost re-exports of `std::sync::atomic` / `parking_lot` — the
 //!   exact types the code used before. Under `RUSTFLAGS="--cfg dmv_check"`
-//!   they route every operation through a controlled scheduler.
+//!   they route every operation through a controlled scheduler; under
+//!   `RUSTFLAGS="--cfg dmv_race"` they stay real (OS threads, real
+//!   parking_lot locks) but feed every operation to the [`race`]
+//!   happens-before detector.
 //! * **A model checker** — [`model`] / [`model_result`] run a closure
 //!   under bounded-exhaustive interleaving exploration: depth-first
 //!   search over every scheduling decision (with a CHESS-style
@@ -25,6 +28,17 @@
 //!   value. Assertion failures and deadlocks are reported together with
 //!   the exact schedule that produced them, and the failing schedule is
 //!   replayed deterministically on every run.
+//! * **A race detector** — [`race`] / [`report`] / [`vc`] implement a
+//!   FastTrack-style vector-clock happens-before detector that runs
+//!   during ordinary multi-threaded tests (`--cfg dmv_race`, CI job
+//!   `race-detect`). It flags relaxed loads that observe unordered
+//!   writes, acquire loads whose store side lost its release ordering,
+//!   lock-order inversions (dynamic and against the declared chains in
+//!   `xtask/lock_order.toml`), and condvar wakes with no
+//!   happens-before edge to their notifier — each report naming both
+//!   racing source sites plus a shim-op replay trace. See DESIGN.md
+//!   "Happens-before model & race detection" for the mode matrix and
+//!   the per-op vector-clock algebra.
 //!
 //! # Semantics in checked mode
 //!
@@ -47,6 +61,13 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+#[cfg(all(dmv_check, dmv_race))]
+compile_error!(
+    "--cfg dmv_check (bounded model checking) and --cfg dmv_race \
+     (happens-before detection on real runs) are mutually exclusive; \
+     pick one per build"
+);
+
 use std::fmt;
 
 #[cfg(dmv_check)]
@@ -54,8 +75,11 @@ mod oracle;
 #[cfg(dmv_check)]
 mod sched;
 
+pub mod race;
+pub mod report;
 pub mod sync;
 pub mod thread;
+pub mod vc;
 
 /// Exploration bounds for [`model_with`] / [`model_result`].
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,171 @@
+//! Race-report data model and CI artifact output.
+//!
+//! A [`RaceReport`] names **both** racing sites (source locations
+//! captured through `#[track_caller]` on every shim operation), the
+//! detecting thread's recent shim-op trace (enough to replay the
+//! interleaving by hand), and a full backtrace captured at the moment
+//! of detection. Reports are printed to stderr as they are found and,
+//! when `DMV_RACE_REPORT_DIR` is set (the CI `race-detect` job sets it
+//! to `target/race-reports`), each one is also written to its own file
+//! so a failing job can upload them as artifacts.
+
+use std::fmt;
+use std::panic::Location;
+
+/// A source location of one shim operation (`file:line:column`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Site(&'static Location<'static>);
+
+impl Site {
+    /// The caller's location; every shim entry point is
+    /// `#[track_caller]`, so this is hot-path source, not shim source.
+    #[track_caller]
+    pub fn caller() -> Self {
+        Site(Location::caller())
+    }
+
+    /// The file component (workspace-relative for in-tree code).
+    pub fn file(&self) -> &'static str {
+        self.0.file()
+    }
+
+    /// The 1-based line.
+    pub fn line(&self) -> u32 {
+        self.0.line()
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.0.file(), self.0.line(), self.0.column())
+    }
+}
+
+impl fmt::Debug for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// One side of a race: which thread did what, where.
+#[derive(Clone)]
+pub struct Access {
+    /// Thread name (builder name if given, else `t<id>`).
+    pub thread: String,
+    /// Operation kind, e.g. `store(Relaxed)` or `lock`.
+    pub op: String,
+    /// Source location of the operation.
+    pub site: Site,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} at {}", self.thread, self.op, self.site)
+    }
+}
+
+/// What class of ordering violation was observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RaceKind {
+    /// A `Relaxed` load observed a store it has no happens-before edge
+    /// to: the relaxed access is the only "ordering" in the
+    /// communication.
+    RelaxedRead,
+    /// An `Acquire`/`SeqCst` load observed a store that was published
+    /// without release ordering, so the acquire created no edge.
+    RelaxedPublish,
+    /// Two locks were acquired in opposite orders (dynamically
+    /// observed), or in an order contradicting `xtask/lock_order.toml`.
+    LockOrderInversion,
+    /// A condvar wait returned after a notify whose notifier has no
+    /// happens-before edge to the waiter.
+    CondvarNoHb,
+}
+
+impl RaceKind {
+    /// Short stable tag used in report headers and file names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RaceKind::RelaxedRead => "relaxed-read",
+            RaceKind::RelaxedPublish => "relaxed-publish",
+            RaceKind::LockOrderInversion => "lock-order",
+            RaceKind::CondvarNoHb => "condvar-no-hb",
+        }
+    }
+}
+
+/// One entry of a thread's shim-op ring buffer.
+#[derive(Clone)]
+pub struct OpRecord {
+    /// Detector thread id.
+    pub tid: usize,
+    /// Operation kind (`load`, `store`, `rmw`, `lock`, `unlock`, ...).
+    pub op: &'static str,
+    /// The shim object operated on (label if named, else `#<id>`).
+    pub object: String,
+    /// Where in the source the operation happened.
+    pub site: Site,
+}
+
+impl fmt::Display for OpRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{} {:8} {:<16} {}", self.tid, self.op, self.object, self.site)
+    }
+}
+
+/// A detected happens-before violation, with everything needed to
+/// triage it without rerunning: both sites, the object, the detecting
+/// thread's recent shim ops, and a backtrace of the detection point.
+#[derive(Clone)]
+pub struct RaceReport {
+    /// Violation class.
+    pub kind: RaceKind,
+    /// Human-readable one-line description.
+    pub message: String,
+    /// The object involved (atomic/lock/condvar label).
+    pub object: String,
+    /// The earlier access (the racing store, the first lock
+    /// acquisition, the notify).
+    pub prior: Access,
+    /// The access at which the race was detected.
+    pub current: Access,
+    /// Recent shim operations of the detecting thread, oldest first.
+    pub trace: Vec<OpRecord>,
+    /// Backtrace captured at the detection point.
+    pub backtrace: String,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== dmv-race: {} on `{}` ==", self.kind.tag(), self.object)?;
+        writeln!(f, "   {}", self.message)?;
+        writeln!(f, "   prior:   {}", self.prior)?;
+        writeln!(f, "   current: {}", self.current)?;
+        if !self.trace.is_empty() {
+            writeln!(f, "   shim-op trace of detecting thread (oldest first):")?;
+            for op in &self.trace {
+                writeln!(f, "     {op}")?;
+            }
+        }
+        if !self.backtrace.is_empty() {
+            writeln!(f, "   detection backtrace:")?;
+            for line in self.backtrace.lines() {
+                writeln!(f, "     {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Writes `report` to `$DMV_RACE_REPORT_DIR/race-<pid>-<n>-<tag>.txt`
+/// (best effort; errors are swallowed — reporting must never take the
+/// test run down on its own).
+pub(crate) fn write_artifact(report: &RaceReport, n: usize) {
+    let Ok(dir) = std::env::var("DMV_RACE_REPORT_DIR") else { return };
+    if dir.is_empty() {
+        return;
+    }
+    let _ = std::fs::create_dir_all(&dir);
+    let path = format!("{dir}/race-{}-{n}-{}.txt", std::process::id(), report.kind.tag());
+    let _ = std::fs::write(path, report.to_string());
+}

@@ -4,13 +4,24 @@
 //! `--cfg dmv_check`, `spawn` inside an active model execution registers
 //! the child with the controlled scheduler: the child is a real OS
 //! thread, but it parks until the explorer schedules it, and `join` is a
-//! schedule point with a proper happens-before edge.
+//! schedule point with a proper happens-before edge. Under
+//! `--cfg dmv_race`, spawn/join are real but recorded as fork/join
+//! edges in the happens-before detector, so everything a parent did
+//! before `spawn` is ordered before the child, and everything a child
+//! did is ordered before its joiner.
+//!
+//! All modes expose [`Builder`] (named spawns) and
+//! `JoinHandle::thread()`, which the replica/cluster/transport driver
+//! threads use.
 
-#[cfg(not(dmv_check))]
-pub use std::thread::{spawn, yield_now, JoinHandle};
+#[cfg(not(any(dmv_check, dmv_race)))]
+pub use std::thread::{spawn, yield_now, Builder, JoinHandle};
 
 #[cfg(dmv_check)]
-pub use checked::{spawn, yield_now, JoinHandle};
+pub use checked::{spawn, yield_now, Builder, JoinHandle};
+
+#[cfg(dmv_race)]
+pub use raced::{spawn, yield_now, Builder, JoinHandle};
 
 #[cfg(dmv_check)]
 mod checked {
@@ -25,11 +36,54 @@ mod checked {
         /// Spawned outside any model execution: plain std thread.
         Os(std::thread::JoinHandle<T>),
         /// A modeled thread; its return value parks in `slot`.
-        Model { exec: Arc<Exec>, tid: usize, slot: Arc<PlMutex<Option<T>>> },
+        Model {
+            exec: Arc<Exec>,
+            tid: usize,
+            slot: Arc<PlMutex<Option<T>>>,
+            thread: std::thread::Thread,
+        },
     }
 
     pub struct JoinHandle<T> {
         kind: Kind<T>,
+    }
+
+    /// Named-spawn builder mirroring `std::thread::Builder`. Inside a
+    /// model execution the name is ignored (modeled threads are named
+    /// by the explorer); outside, it reaches the OS thread.
+    #[derive(Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        pub fn new() -> Self {
+            Builder::default()
+        }
+
+        #[must_use]
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// # Errors
+        ///
+        /// Propagates the OS spawn error (outside a model execution).
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            if sched::current().is_some() {
+                return Ok(spawn(f));
+            }
+            let mut b = std::thread::Builder::new();
+            if let Some(name) = self.name {
+                b = b.name(name);
+            }
+            Ok(JoinHandle { kind: Kind::Os(b.spawn(f)?) })
+        }
     }
 
     pub fn spawn<F, T>(f: F) -> JoinHandle<T>
@@ -63,15 +117,16 @@ mod checked {
                 e2.thread_finished(tid, panic_msg);
             })
             .expect("spawn modeled os thread");
+        let thread = os.thread().clone();
         exec.push_os_handle(os);
-        JoinHandle { kind: Kind::Model { exec, tid, slot } }
+        JoinHandle { kind: Kind::Model { exec, tid, slot, thread } }
     }
 
     impl<T> JoinHandle<T> {
         pub fn join(self) -> std::thread::Result<T> {
             match self.kind {
                 Kind::Os(h) => h.join(),
-                Kind::Model { exec, tid, slot } => {
+                Kind::Model { exec, tid, slot, .. } => {
                     let me = match sched::current() {
                         Some((_, me)) => me,
                         // Joining a modeled thread from outside the
@@ -87,6 +142,14 @@ mod checked {
                 }
             }
         }
+
+        /// The underlying OS thread handle (id, name).
+        pub fn thread(&self) -> &std::thread::Thread {
+            match &self.kind {
+                Kind::Os(h) => h.thread(),
+                Kind::Model { thread, .. } => thread,
+            }
+        }
     }
 
     /// An explicit schedule point inside the model; a real yield outside.
@@ -95,5 +158,89 @@ mod checked {
             None => std::thread::yield_now(),
             Some((e, me)) => e.yield_point(me),
         }
+    }
+}
+
+#[cfg(dmv_race)]
+mod raced {
+    use crate::race;
+
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+        tid: usize,
+    }
+
+    /// Named-spawn builder mirroring `std::thread::Builder`; the name
+    /// also becomes the thread's name in race reports.
+    #[derive(Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        pub fn new() -> Self {
+            Builder::default()
+        }
+
+        #[must_use]
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// # Errors
+        ///
+        /// Propagates the OS spawn error.
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            // Register before the OS thread exists: the fork edge must
+            // capture the parent's clock as of the spawn point.
+            let parent = race::current_tid();
+            let tid = race::global().register_thread(Some(parent), self.name.clone());
+            let mut b = std::thread::Builder::new();
+            if let Some(name) = self.name {
+                b = b.name(name);
+            }
+            let inner = b.spawn(move || {
+                race::set_current_tid(tid);
+                f()
+            })?;
+            Ok(JoinHandle { inner, tid })
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("spawn race-instrumented thread")
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            let r = self.inner.join();
+            // Join edge after the real join: the child's final clock is
+            // complete, and the edge exists even if the child panicked
+            // (std join still synchronizes in that case).
+            race::global().join_edge(race::current_tid(), self.tid);
+            r
+        }
+
+        /// The underlying OS thread handle (id, name).
+        pub fn thread(&self) -> &std::thread::Thread {
+            self.inner.thread()
+        }
+
+        pub fn is_finished(&self) -> bool {
+            self.inner.is_finished()
+        }
+    }
+
+    pub fn yield_now() {
+        std::thread::yield_now();
     }
 }

@@ -1,0 +1,162 @@
+//! Vector clocks and epochs for the happens-before race detector.
+//!
+//! The representation follows FastTrack (Flanagan & Freund, PLDI'09):
+//! a full [`VectorClock`] per thread and per synchronization object,
+//! and a compressed [`Epoch`] — one `(thread, clock)` pair — for the
+//! last write to each atomic location, which makes the common
+//! same-epoch / ordered-write check O(1) instead of O(threads).
+//!
+//! Clocks are plain data with no interior mutability; all sharing and
+//! locking live in [`crate::race`].
+
+use std::fmt;
+
+/// A map from thread id to the highest clock value of that thread that
+/// the owner happens-after. Thread ids are small dense indices handed
+/// out by the detector, so a `Vec` (implicitly zero-extended) beats a
+/// hash map.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    slots: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The empty clock (happens-after nothing).
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// The clock value known for `tid` (0 if never seen).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets `tid`'s component to exactly `value`.
+    pub fn set(&mut self, tid: usize, value: u32) {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] = value;
+    }
+
+    /// Increments `tid`'s own component (a new epoch for that thread).
+    pub fn bump(&mut self, tid: usize) {
+        let v = self.get(tid);
+        self.set(tid, v + 1);
+    }
+
+    /// Pointwise maximum: after `self.join(other)`, the owner
+    /// happens-after everything either clock happened-after.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(&other.slots) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Pointwise ≤: everything `self` happens-after, `other` does too.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.slots.iter().enumerate().all(|(tid, &v)| v <= other.get(tid))
+    }
+
+    /// The epoch of `tid` as recorded in this clock.
+    pub fn epoch(&self, tid: usize) -> Epoch {
+        Epoch { tid, clock: self.get(tid) }
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.slots.iter()).finish()
+    }
+}
+
+/// One `(thread, clock)` pair: "the state of `tid` at local time
+/// `clock`". The last write to a location is a single epoch; a reader
+/// with clock `C` is ordered after it iff `clock ≤ C[tid]`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Epoch {
+    /// The thread that produced this epoch.
+    pub tid: usize,
+    /// That thread's local clock at the time.
+    pub clock: u32,
+}
+
+impl Epoch {
+    /// Whether the event at this epoch happens-before a thread whose
+    /// current clock is `vc`.
+    pub fn visible_to(&self, vc: &VectorClock) -> bool {
+        self.clock <= vc.get(self.tid)
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock, self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(2, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 1);
+        b.set(1, 4);
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (3, 4, 1));
+    }
+
+    #[test]
+    fn leq_orders_clocks() {
+        let mut a = VectorClock::new();
+        a.set(0, 1);
+        let mut b = a.clone();
+        assert!(a.leq(&b) && b.leq(&a));
+        b.set(1, 2);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+    }
+
+    #[test]
+    fn missing_slots_read_as_zero() {
+        let a = VectorClock::new();
+        assert_eq!(a.get(17), 0);
+        let mut b = VectorClock::new();
+        b.set(17, 1);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+    }
+
+    #[test]
+    fn epoch_visibility_tracks_one_component() {
+        let mut w = VectorClock::new();
+        w.set(1, 5);
+        let e = w.epoch(1);
+        let mut r = VectorClock::new();
+        r.set(1, 4);
+        assert!(!e.visible_to(&r));
+        r.set(1, 5);
+        assert!(e.visible_to(&r));
+        // Other components are irrelevant to an epoch.
+        let mut huge = VectorClock::new();
+        huge.set(0, 100);
+        assert!(!e.visible_to(&huge));
+    }
+
+    #[test]
+    fn bump_creates_fresh_epoch() {
+        let mut c = VectorClock::new();
+        c.bump(3);
+        c.bump(3);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.epoch(3), Epoch { tid: 3, clock: 2 });
+    }
+}

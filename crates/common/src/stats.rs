@@ -5,8 +5,8 @@
 //! emulator threads can record into shared instances without perturbing
 //! the measured system.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use dmv_check::sync::atomic::{AtomicU64, Ordering};
+use dmv_check::sync::Mutex;
 use std::time::Duration;
 
 /// A monotonically increasing atomic counter.
@@ -205,8 +205,8 @@ impl ThroughputSeries {
         let idx = (at.as_nanos() / self.width.as_nanos()) as usize;
         if idx < self.counts.len() {
             self.counts[idx].fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
+                                                              // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
             self.lat_sums[idx].fetch_add(lat.as_micros() as u64, Ordering::Relaxed);
-        // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
         } else {
             self.overflow.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent stats cell; readers tolerate torn cross-cell views
         }

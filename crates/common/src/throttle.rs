@@ -102,7 +102,7 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let t = t.clone();
-                std::thread::spawn(move || t.charge(Duration::from_secs(4)))
+                dmv_check::thread::spawn(move || t.charge(Duration::from_secs(4)))
             })
             .collect();
         for h in handles {
@@ -119,7 +119,7 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let t = t.clone();
-                std::thread::spawn(move || t.charge(Duration::from_secs(4)))
+                dmv_check::thread::spawn(move || t.charge(Duration::from_secs(4)))
             })
             .collect();
         for h in handles {

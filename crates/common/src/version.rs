@@ -416,7 +416,7 @@ mod props {
         let handles: Vec<_> = (0..8u64)
             .map(|t| {
                 let av = Arc::clone(&av);
-                std::thread::spawn(move || {
+                dmv_check::thread::spawn(move || {
                     for v in 1..=100u64 {
                         let mut w = VersionVector::new(4);
                         w.set(TableId((t % 4) as u16), v);
@@ -455,7 +455,7 @@ mod props {
         let av = Arc::new(AtomicVersionVector::new(2));
         let writer = {
             let av = Arc::clone(&av);
-            std::thread::spawn(move || {
+            dmv_check::thread::spawn(move || {
                 for i in 1..=50_000u64 {
                     av.merge(&VersionVector::from_entries(vec![i, i]));
                 }
@@ -464,7 +464,7 @@ mod props {
         let readers: Vec<_> = (0..2)
             .map(|_| {
                 let av = Arc::clone(&av);
-                std::thread::spawn(move || {
+                dmv_check::thread::spawn(move || {
                     for _ in 0..25_000 {
                         let s = av.snapshot();
                         let (s0, s1) = (s.entries()[0], s.entries()[1]);

@@ -43,12 +43,16 @@ pub struct AckTracker {
 impl AckTracker {
     /// An empty tracker (no peers, no waiters).
     pub fn new() -> Self {
-        AckTracker {
+        let t = AckTracker {
             peers: RwLock::new(HashMap::new()),
             waiters: AtomicUsize::new(0),
             wait_lock: Mutex::new(()),
             cv: Condvar::new(),
-        }
+        };
+        dmv_check::race::label(&t.peers, "peers");
+        dmv_check::race::label(&t.wait_lock, "wait_lock");
+        dmv_check::race::label(&t.cv, "ack.cv");
+        t
     }
 
     /// Records a cumulative ack from `peer`: the watermark advances by
@@ -190,7 +194,7 @@ mod tests {
     fn wait_returns_once_predicate_holds() {
         let t = Arc::new(AckTracker::new());
         let t2 = Arc::clone(&t);
-        let h = std::thread::spawn(move || {
+        let h = dmv_check::thread::spawn(move || {
             t2.wait(wall_deadline(Duration::from_secs(5)), Duration::from_millis(10), || {
                 t2.watermark(NodeId(1)) >= 3
             })
@@ -214,7 +218,7 @@ mod tests {
     fn remove_wakes_waiters() {
         let t = Arc::new(AckTracker::new());
         let t2 = Arc::clone(&t);
-        let h = std::thread::spawn(move || {
+        let h = dmv_check::thread::spawn(move || {
             // Predicate: no peer entry left to wait on.
             t2.wait(wall_deadline(Duration::from_secs(5)), Duration::from_secs(5), || {
                 t2.peers.read().is_empty()

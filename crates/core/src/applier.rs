@@ -101,7 +101,7 @@ pub struct PendingApplier {
 impl PendingApplier {
     /// Creates an applier over `store` covering `n_tables` tables.
     pub fn new(store: Arc<PageStore>, n_tables: usize, wait_timeout: Duration) -> Self {
-        PendingApplier {
+        let applier = PendingApplier {
             store,
             queues: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             received: AtomicVersionVector::new(n_tables),
@@ -111,7 +111,13 @@ impl PendingApplier {
             wait_timeout,
             enqueued_writesets: AtomicU64::new(0),
             trace: RwLock::new(None),
+        };
+        for shard in &applier.queues {
+            dmv_check::race::label(shard, "queues");
         }
+        dmv_check::race::label(&applier.wait_lock, "wait_lock");
+        dmv_check::race::label(&applier.received_cv, "applier.received_cv");
+        applier
     }
 
     /// Installs a history tap attributing this applier's events to
@@ -483,7 +489,7 @@ mod tests {
         let a = Arc::new(PendingApplier::new(Arc::clone(&store), 2, Duration::from_secs(5)));
         a.enqueue(&ws(1, 0, 1, 0, 10));
         let a2 = Arc::clone(&a);
-        let h = std::thread::spawn(move || {
+        let h = dmv_check::thread::spawn(move || {
             let mut tag = VersionVector::new(2);
             tag.set(TableId(0), 2);
             a2.wait_received(&tag)

@@ -6,6 +6,8 @@ use crate::messages::{Msg, PageBatch};
 use crate::replica::{ReplicaConfig, ReplicaNode};
 use crate::scheduler::{Scheduler, SchedulerConfig, Topology, WarmupStrategy};
 use crate::trace::SharedTap;
+use dmv_check::sync::atomic::{AtomicBool, Ordering};
+use dmv_check::sync::{Mutex, RwLock};
 use dmv_common::clock::{SimClock, TimeScale};
 use dmv_common::config::{CpuProfile, DiskProfile, GroupCommitConfig, NetProfile};
 use dmv_common::error::{DmvError, DmvResult};
@@ -19,9 +21,7 @@ use dmv_sql::exec::{execute, ResultSet};
 use dmv_sql::query::Query;
 use dmv_sql::row::Row;
 use dmv_sql::schema::Schema;
-use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -145,7 +145,7 @@ pub struct DmvCluster {
     backends: Vec<Arc<DiskDb>>,
     handled_failures: Mutex<HashSet<NodeId>>,
     shutdown: Arc<AtomicBool>,
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    threads: Mutex<Vec<dmv_check::thread::JoinHandle<()>>>,
     ready: AtomicBool,
     next_node_id: Mutex<u32>,
     /// History tap propagated to every present and future component.
@@ -360,7 +360,7 @@ impl DmvCluster {
         let shutdown = Arc::clone(&self.shutdown);
         let interval = self.clock.scale().to_wall(self.spec.detect_interval);
         let interval = interval.max(Duration::from_millis(5));
-        let h = std::thread::Builder::new()
+        let h = dmv_check::thread::Builder::new()
             .name("dmv-monitor".into())
             .spawn(move || loop {
                 if Self::interruptible_sleep(&shutdown, interval) {
@@ -381,7 +381,7 @@ impl DmvCluster {
             .scale()
             .to_wall(self.spec.checkpoint_period.expect("checked")) // unwrap-ok: guarded by the checkpoint_period Some-check at the call site
             .max(Duration::from_millis(10));
-        let h = std::thread::Builder::new()
+        let h = dmv_check::thread::Builder::new()
             .name("dmv-checkpoint".into())
             .spawn(move || loop {
                 if Self::interruptible_sleep(&shutdown, period) {

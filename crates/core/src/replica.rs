@@ -137,7 +137,7 @@ pub struct ReplicaNode {
     checkpoint: Mutex<CheckpointImage>,
     /// Operation counters.
     pub stats: ReplicaStats,
-    receiver: Mutex<Option<std::thread::JoinHandle<()>>>,
+    receiver: Mutex<Option<dmv_check::thread::JoinHandle<()>>>,
     /// Optional history tap (deterministic simulation testing).
     tap: RwLock<Option<SharedTap>>,
 }
@@ -191,9 +191,13 @@ impl ReplicaNode {
             receiver: Mutex::new(None),
             tap: RwLock::new(None),
         });
+        dmv_check::race::label(&node.dbversion, "dbversion");
+        dmv_check::race::label(&node.commit_seq, "commit_seq");
+        dmv_check::race::label(&node.targets, "targets");
+        dmv_check::race::label(&node.batch, "batch");
         let endpoint = net.register(id);
         let weak = Arc::downgrade(&node);
-        let handle = std::thread::Builder::new()
+        let handle = dmv_check::thread::Builder::new()
             .name(format!("replica-{id}"))
             .spawn(move || {
                 while let Some(node) = weak.upgrade() {

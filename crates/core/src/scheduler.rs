@@ -145,7 +145,7 @@ pub struct Scheduler {
     read_counter: AtomicU64,
     query_log: Mutex<Vec<Vec<Query>>>,
     backend_tx: Mutex<Option<crossbeam::channel::Sender<Vec<Query>>>>,
-    feed_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    feed_thread: Mutex<Option<dmv_check::thread::JoinHandle<()>>>,
     alive: AtomicBool,
     backends: Vec<Arc<DiskDb>>,
     /// Optional history tap (deterministic simulation testing).
@@ -178,10 +178,12 @@ impl Scheduler {
             backends: backends.clone(),
             tap: RwLock::new(None),
         });
+        dmv_check::race::label(&sched.topo, "topo");
+        dmv_check::race::label(&sched.slave_loads, "slave_loads");
         if !backends.is_empty() {
             let (tx, rx) = crossbeam::channel::unbounded::<Vec<Query>>();
             *sched.backend_tx.lock() = Some(tx);
-            let handle = std::thread::Builder::new()
+            let handle = dmv_check::thread::Builder::new()
                 .name(format!("sched-{id}-feed"))
                 .spawn(move || {
                     while let Ok(batch) = rx.recv() {

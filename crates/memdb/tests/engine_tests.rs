@@ -480,6 +480,7 @@ fn concurrent_same_page_updates_do_not_upgrade_deadlock() {
                             break;
                         }
                         Err(DmvError::Deadlock(_)) => {
+                            // relaxed-ok: test tally; read after all workers joined
                             deadlocks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             txn.abort();
                         }
@@ -499,6 +500,7 @@ fn concurrent_same_page_updates_do_not_upgrade_deadlock() {
     assert_eq!(total, 200);
     // Point updates on the same page serialize via immediate X locks;
     // upgrade deadlocks would show up in the hundreds here.
+    // relaxed-ok: test tally; read after all workers joined
     let d = deadlocks.load(std::sync::atomic::Ordering::Relaxed);
     assert!(d < 20, "unexpected deadlock storm: {d}");
 }
@@ -524,6 +526,7 @@ fn concurrent_inserts_do_not_upgrade_deadlock() {
                             break;
                         }
                         Err(DmvError::Deadlock(_)) => {
+                            // relaxed-ok: test tally; read after all workers joined
                             deadlocks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             txn.abort();
                         }
@@ -539,6 +542,7 @@ fn concurrent_inserts_do_not_upgrade_deadlock() {
     let mut r = db.begin_read_local();
     let rs = execute(&mut r, &Query::Select(Select::scan(TableId(0)))).unwrap();
     assert_eq!(rs.rows.len(), 200);
+    // relaxed-ok: test tally; read after all workers joined
     let d = deadlocks.load(std::sync::atomic::Ordering::Relaxed);
     assert!(d < 20, "unexpected deadlock storm: {d}");
 }

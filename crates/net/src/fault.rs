@@ -22,9 +22,9 @@
 //! deterministic function of the schedule.
 
 use crate::transport::{Endpoint, Transport};
+use dmv_check::sync::Mutex;
 use dmv_common::error::DmvResult;
 use dmv_common::ids::NodeId;
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 

@@ -50,12 +50,16 @@ pub struct BoundedQueue<T> {
 impl<T> BoundedQueue<T> {
     /// A queue holding at most `cap` items (`cap >= 1`).
     pub fn new(cap: usize) -> Self {
-        BoundedQueue {
+        let q = BoundedQueue {
             state: Mutex::new(State { items: VecDeque::new(), closed: false }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             cap: cap.max(1),
-        }
+        };
+        dmv_check::race::label(&q.state, "link_queue");
+        dmv_check::race::label(&q.not_full, "link_queue.not_full");
+        dmv_check::race::label(&q.not_empty, "link_queue.not_empty");
+        q
     }
 
     /// Enqueues `item`, blocking while the queue is full until
@@ -160,8 +164,9 @@ mod tests {
         let q = Arc::new(BoundedQueue::new(1));
         q.push_deadline(7, soon()).unwrap();
         let q2 = Arc::clone(&q);
-        let blocked =
-            std::thread::spawn(move || q2.push_deadline(8, wall_deadline(Duration::from_secs(5))));
+        let blocked = dmv_check::thread::spawn(move || {
+            q2.push_deadline(8, wall_deadline(Duration::from_secs(5)))
+        });
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert_eq!(blocked.join().unwrap(), Err(PushError::Closed));
@@ -175,7 +180,7 @@ mod tests {
         let q = Arc::new(BoundedQueue::new(4));
         let producer = {
             let q = Arc::clone(&q);
-            std::thread::spawn(move || {
+            dmv_check::thread::spawn(move || {
                 for i in 0..500 {
                     q.push_deadline(i, wall_deadline(Duration::from_secs(10))).unwrap();
                 }
@@ -183,7 +188,7 @@ mod tests {
         };
         let consumer = {
             let q = Arc::clone(&q);
-            std::thread::spawn(move || {
+            dmv_check::thread::spawn(move || {
                 let mut got = Vec::new();
                 while got.len() < 500 {
                     match q.pop_deadline(wall_deadline(Duration::from_secs(10))) {

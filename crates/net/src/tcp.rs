@@ -88,7 +88,7 @@ struct Inner<M> {
     messages_sent: AtomicU64,
     bytes_sent: AtomicU64,
     shutdown: AtomicBool,
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    threads: Mutex<Vec<dmv_check::thread::JoinHandle<()>>>,
     next_stream: AtomicU64,
 }
 
@@ -166,7 +166,10 @@ impl<M: Wire + Clone + Send + 'static> Transport<M> for TcpTransport<M> {
 
         let inner = Arc::clone(&self.inner);
         let accept_stop = Arc::clone(&stop);
-        let handle = std::thread::spawn(move || accept_loop(inner, node, listener, accept_stop));
+        let handle = dmv_check::thread::Builder::new()
+            .name(format!("tcp-accept-{node}"))
+            .spawn(move || accept_loop(inner, node, listener, accept_stop))
+            .expect("spawn accept loop"); // unwrap-ok: thread spawn fails only on OS resource exhaustion at startup
         self.inner.threads.lock().push(handle);
 
         Box::new(TcpEndpoint { node, alive, receiver: rx, inner: Arc::clone(&self.inner) })
@@ -296,9 +299,12 @@ impl<M: Wire + Clone + Send + 'static> TcpTransport<M> {
                     let stream_id = inner.next_stream.fetch_add(1, Ordering::Relaxed); // relaxed-ok: unique-id allocator, no ordering needed
                     let writer_q = Arc::clone(&q);
                     let writer_inner = Arc::clone(inner);
-                    let handle = std::thread::spawn(move || {
-                        writer_loop(writer_inner, from, to, writer_q, stream_id);
-                    });
+                    let handle = dmv_check::thread::Builder::new()
+                        .name(format!("tcp-writer-{from}-{to}"))
+                        .spawn(move || {
+                            writer_loop(writer_inner, from, to, writer_q, stream_id);
+                        })
+                        .expect("spawn writer loop"); // unwrap-ok: thread spawn fails only on OS resource exhaustion at startup
                     inner.threads.lock().push(handle);
                     q
                 }
@@ -380,9 +386,12 @@ fn accept_loop<M: Wire + Clone + Send + 'static>(
                 let _ = stream.set_write_timeout(Some(WRITE_STALL));
                 let reader_inner = Arc::clone(&inner);
                 let reader_stop = Arc::clone(&stop);
-                let handle = std::thread::spawn(move || {
-                    reader_loop(reader_inner, node, stream, reader_stop);
-                });
+                let handle = dmv_check::thread::Builder::new()
+                    .name(format!("tcp-reader-{node}"))
+                    .spawn(move || {
+                        reader_loop(reader_inner, node, stream, reader_stop);
+                    })
+                    .expect("spawn reader loop"); // unwrap-ok: thread spawn fails only on OS resource exhaustion at startup
                 inner.threads.lock().push(handle);
             }
             Err(_) => {

@@ -64,7 +64,7 @@ fn snapshot_reads_preserve_invariants_under_transfers() {
     let mut writers = Vec::new();
     for w in 0..3u64 {
         let c = Arc::clone(&cluster);
-        writers.push(std::thread::spawn(move || {
+        writers.push(dmv_check::thread::spawn(move || {
             let s = c.session();
             let mut rng = dmv::common::rng::seeded(w);
             for _ in 0..40 {
@@ -77,7 +77,7 @@ fn snapshot_reads_preserve_invariants_under_transfers() {
     let mut readers = Vec::new();
     for r in 0..3u64 {
         let c = Arc::clone(&cluster);
-        readers.push(std::thread::spawn(move || {
+        readers.push(dmv_check::thread::spawn(move || {
             let s = c.session();
             let mut consistent = 0u32;
             for _ in 0..60 {
@@ -101,6 +101,9 @@ fn snapshot_reads_preserve_invariants_under_transfers() {
     let rs = cluster.session().read_retry(&[Query::Select(Select::scan(TableId(0)))], 20).unwrap();
     assert_eq!(total_balance(&rs[0].rows), total);
     cluster.shutdown();
+    // Under --cfg dmv_race this fails the test if the happens-before
+    // detector flagged any race during the run; a no-op otherwise.
+    dmv_check::race::assert_clean();
 }
 
 /// Snapshot consistency must survive a master failure mid-stream.

@@ -68,7 +68,7 @@ fn concurrent_clients_converge_without_losing_writesets() {
     let mut writers = Vec::new();
     for w in 0..WRITERS {
         let c = Arc::clone(&cluster);
-        writers.push(std::thread::spawn(move || {
+        writers.push(dmv_check::thread::spawn(move || {
             let s = c.session();
             let mut rng = dmv::common::rng::seeded(w);
             let mut committed = 0u64;
@@ -84,7 +84,7 @@ fn concurrent_clients_converge_without_losing_writesets() {
     let mut readers = Vec::new();
     for r in 0..READERS {
         let c = Arc::clone(&cluster);
-        readers.push(std::thread::spawn(move || {
+        readers.push(dmv_check::thread::spawn(move || {
             let s = c.session();
             for _ in 0..40 {
                 if let Ok(rs) = s.read_retry(&[Query::Select(Select::scan(TableId(0)))], 30) {
@@ -133,4 +133,7 @@ fn concurrent_clients_converge_without_losing_writesets() {
         assert_eq!(got[0].rows, expect[0].rows, "slave {id:?} diverged from master");
     }
     cluster.shutdown();
+    // Under --cfg dmv_race this fails the test if the happens-before
+    // detector flagged any race during the run; a no-op otherwise.
+    dmv_check::race::assert_clean();
 }

@@ -30,16 +30,27 @@
 //!   hierarchy declared in `xtask/lock_order.toml`. The scanner tracks
 //!   `let g = x.lock()` / `drop(g)` / scope exit per function, so only
 //!   genuinely-overlapping holds are compared.
+//! * **wire-exhaustive** — every variant of `Msg`
+//!   (`crates/core/src/messages.rs`) must appear in the round-trip
+//!   suite `crates/core/tests/wire_roundtrip.rs`; a codec case that is
+//!   never round-tripped is exactly the one that breaks on the wire.
 //!
-//! Test code is skipped: files under a `tests/` or `benches/` dir are
-//! never scanned, and within a src file everything from the first
-//! `#[cfg(test)]` line onward is ignored (repo convention keeps test
-//! modules at the bottom of the file).
+//! Most rules apply only to `crates/*/src` library code, and within a
+//! src file everything from the first `#[cfg(test)]` line onward is
+//! ignored (repo convention keeps test modules at the bottom of the
+//! file): integration tests and benches may use wall clocks, ambient
+//! RNG and unwrap freely. **relaxed-justify is the exception** — it
+//! audits the full tree (root `src`/`tests`/`examples`/`benches`,
+//! crate test dirs, and `xtask/src`), because an unjustified `Relaxed`
+//! in a test can hide the very reordering the test exists to catch.
+//! Files whose entire purpose is deliberately-relaxed code (the litmus
+//! suite, the race-mutation corpus) are exempt via
+//! [`RELAXED_CORPUS_EXEMPT`].
 //!
 //! Escape hatches (`relaxed-ok:`, `wall-clock-ok:`, `rng-ok:`,
-//! `unwrap-ok:`, `wire-boundary-ok:`, `lock-order-ok:`) take effect on
-//! the violating line or the line directly above it, and are themselves
-//! grep-able audit
+//! `unwrap-ok:`, `wire-boundary-ok:`, `lock-order-ok:`,
+//! `wire-exhaustive-ok:`) take effect on the violating line or the
+//! line directly above it, and are themselves grep-able audit
 //! points.
 
 use std::fmt;
@@ -66,6 +77,18 @@ const WIRE_BOUNDARY_ALLOWED_PREFIX: &str = "crates/net/";
 /// `crates/net/` (matched as whole words; `std::net` is matched as a
 /// path substring).
 const SOCKET_TYPES: &[&str] = &["TcpStream", "TcpListener", "UdpSocket"];
+
+/// Files that exist to write deliberately-unsynchronized code: the
+/// model-checker litmus suite and the race-detector mutation corpus.
+/// Annotating their `Relaxed` sites `relaxed-ok:` would be a lie — the
+/// relaxed misuse is the test payload — so they are exempt wholesale.
+const RELAXED_CORPUS_EXEMPT: &[&str] =
+    &["crates/check/tests/litmus.rs", "crates/check/tests/race_mutations.rs"];
+
+/// The enum whose variants the wire round-trip suite must cover, and
+/// the suite that must cover them.
+const WIRE_ENUM_FILE: &str = "crates/core/src/messages.rs";
+const WIRE_ROUNDTRIP_FILE: &str = "crates/core/tests/wire_roundtrip.rs";
 
 #[derive(Debug)]
 struct Violation {
@@ -123,16 +146,20 @@ pub fn run(args: &[String]) -> ExitCode {
     };
 
     let mut files = Vec::new();
-    collect_rs_files(&root.join("crates"), &mut files);
+    for dir in ["crates", "src", "tests", "examples", "benches", "xtask/src"] {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
     files.sort();
 
     let mut violations = Vec::new();
     let mut scanned = 0usize;
     for path in &files {
         let rel = path.strip_prefix(&root).unwrap_or(path).to_string_lossy().replace('\\', "/");
-        // Only library/binary sources; integration tests and benches
-        // may use wall clocks, ambient RNG and unwrap freely.
-        if !rel.contains("/src/") {
+        // Library/binary sources get every rule; test, bench, example
+        // and tooling code gets only the full-tree relaxed audit (wall
+        // clocks, ambient RNG and unwrap are fine there).
+        let full = rel.starts_with("crates/") && rel.contains("/src/");
+        if !full && RELAXED_CORPUS_EXEMPT.contains(&rel.as_str()) {
             continue;
         }
         let Ok(text) = std::fs::read_to_string(path) else {
@@ -140,8 +167,14 @@ pub fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         };
         scanned += 1;
-        lint_file(&rel, &text, &order, &mut violations);
+        if full {
+            lint_file(&rel, &text, &order, &mut violations);
+        } else {
+            lint_relaxed_only(&rel, &text, &mut violations);
+        }
     }
+
+    check_wire_exhaustive(&root, &mut violations);
 
     if violations.is_empty() {
         println!("lint: {scanned} files clean");
@@ -244,14 +277,8 @@ fn lint_file(rel: &str, text: &str, order: &LockOrder, out: &mut Vec<Violation>)
     };
 
     for (i, l) in lines.iter().enumerate() {
-        if l.code.contains("Ordering::Relaxed") && !escaped(&lines, i, "relaxed-ok:") {
-            push(
-                i,
-                "relaxed-justify",
-                "Ordering::Relaxed without a `relaxed-ok:` justification — \
-                 state why nothing is ordered against this value, or use Acquire/Release"
-                    .to_string(),
-            );
+        if relaxed_violation(&lines, i) {
+            push(i, "relaxed-justify", RELAXED_MSG.to_string());
         }
         if !wall_allowed
             && (contains_word(l.code, "Instant") || contains_word(l.code, "SystemTime"))
@@ -317,6 +344,101 @@ fn lint_file(rel: &str, text: &str, order: &LockOrder, out: &mut Vec<Violation>)
     }
 
     check_lock_order(rel, &lines, order, out);
+}
+
+// ------------------------------------------------- full-tree relaxed audit
+
+// relaxed-ok: rule message text, not an atomic access
+const RELAXED_MSG: &str = "Ordering::Relaxed without a `relaxed-ok:` justification — \
+     state why nothing is ordered against this value, or use Acquire/Release";
+
+/// True if line `idx` uses `Ordering::Relaxed` in code without an
+/// escape on the same or previous line.
+fn relaxed_violation(lines: &[SplitLine<'_>], idx: usize) -> bool {
+    // relaxed-ok: the audit's grep token, not an atomic access
+    lines[idx].code.contains("Ordering::Relaxed") && !escaped(lines, idx, "relaxed-ok:")
+}
+
+/// The relaxed-justify audit alone, applied to the whole file (no
+/// `#[cfg(test)]` cutoff): test, bench, example and tooling code.
+fn lint_relaxed_only(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    let lines: Vec<SplitLine<'_>> = text.lines().map(split_comment).collect();
+    for i in 0..lines.len() {
+        if relaxed_violation(&lines, i) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: "relaxed-justify",
+                message: RELAXED_MSG.to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------- wire exhaustiveness
+
+/// Every `Msg` variant must appear (as a whole word, in code) in the
+/// wire round-trip suite. A variant the suite never encodes/decodes is
+/// the one whose codec silently drifts.
+fn check_wire_exhaustive(root: &Path, out: &mut Vec<Violation>) {
+    let Ok(enum_text) = std::fs::read_to_string(root.join(WIRE_ENUM_FILE)) else {
+        // No wire enum in this tree (e.g. a lint fixture without one):
+        // nothing to check.
+        return;
+    };
+    let roundtrip = std::fs::read_to_string(root.join(WIRE_ROUNDTRIP_FILE)).unwrap_or_default();
+    let rt_code: Vec<SplitLine<'_>> = roundtrip.lines().map(split_comment).collect();
+    let covered = |variant: &str| rt_code.iter().any(|l| contains_word(l.code, variant));
+
+    let lines: Vec<SplitLine<'_>> = enum_text.lines().map(split_comment).collect();
+    let mut in_enum = false;
+    let mut depth = 0i32;
+    for (i, l) in lines.iter().enumerate() {
+        let code = l.code;
+        if !in_enum {
+            if contains_word(code, "enum") && contains_word(code, "Msg") {
+                in_enum = true;
+                depth = 0;
+            } else {
+                continue;
+            }
+        } else if depth == 1 {
+            // A variant line: a leading capitalized identifier
+            // (attributes start with `#`, doc comments have no code).
+            let ident: String = code
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if ident.chars().next().is_some_and(char::is_uppercase)
+                && !covered(&ident)
+                && !escaped(&lines, i, "wire-exhaustive-ok:")
+            {
+                out.push(Violation {
+                    file: WIRE_ENUM_FILE.to_string(),
+                    line: i + 1,
+                    rule: "wire-exhaustive",
+                    message: format!(
+                        "`Msg::{ident}` has no round-trip case in {WIRE_ROUNDTRIP_FILE} — \
+                         every wire variant must be encode/decode-tested (or justified \
+                         with `wire-exhaustive-ok:`)"
+                    ),
+                });
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return; // enum closed; later Msg mentions are not variants
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
 // ------------------------------------------------------- lock ordering

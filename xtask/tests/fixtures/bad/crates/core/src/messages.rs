@@ -1,0 +1,8 @@
+// Synthetic wire enum for the wire-exhaustive rule: `Covered` appears
+// in the fixture round-trip suite, `NeverRoundTripped` does not and
+// must be reported.
+
+pub enum Msg {
+    Covered(u64),
+    NeverRoundTripped { seq: u64 },
+}

@@ -1,0 +1,6 @@
+// Fixture round-trip suite covering only `Msg::Covered`; the missing
+// `NeverRoundTripped` case is the wire-exhaustive violation.
+
+fn roundtrip_covered() {
+    let _ = Msg::Covered(7);
+}

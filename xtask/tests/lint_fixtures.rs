@@ -25,6 +25,7 @@ fn bad_fixture_trips_every_rule() {
         "no-unwrap",
         "wire-boundary",
         "lock-order",
+        "wire-exhaustive",
     ] {
         assert!(
             stderr.contains(&format!("[{rule}]")),
