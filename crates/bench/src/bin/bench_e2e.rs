@@ -15,6 +15,8 @@
 //! scale; only the harness path and the JSON shape are exercised).
 
 use dmv_bench::{banner, deploy_dmv, DmvOptions, SEED};
+use dmv_common::config::BufferBudget;
+use dmv_pagestore::PAGE_SIZE;
 use dmv_tpcw::emulator::{run_emulator, EmulatorConfig, EmulatorReport};
 use dmv_tpcw::populate::TpcwScale;
 use dmv_tpcw::Mix;
@@ -184,6 +186,117 @@ fn run_single_writer(s: &Sweep, scale: TpcwScale) -> EmulatorReport {
     report
 }
 
+/// Result of the larger-than-memory cell: shopping mix with every
+/// node's buffer budget clamped to half the populated working set, so
+/// the run only completes by evicting clean pages and faulting them
+/// back while epoch GC keeps the pending-diff queues drained.
+struct LtmCell {
+    working_set_pages: u64,
+    budget_pages: u64,
+    report: EmulatorReport,
+    abort_rate: f64,
+    /// Max resident-page high-water mark across nodes.
+    high_water_pages: u64,
+    /// Evictions summed across nodes.
+    evictions: u64,
+    /// Page faults summed across nodes.
+    faults: u64,
+    /// Max pending replication-diff bytes across nodes at run end.
+    max_pending_bytes: u64,
+    /// High water stayed within budget plus the dirty-page slack.
+    bounded: bool,
+    duration: Duration,
+}
+
+/// The larger-than-memory cell. A first unbounded deployment measures
+/// the populated working set; the measured run then clamps every node
+/// to half of it via [`BufferBudget`], making eviction and re-fault a
+/// steady-state cost rather than a warmup transient.
+/// `budget_override`: `Some(0)` runs the cell unbounded (the
+/// before-numbers baseline), `Some(n)` forces an n-page budget.
+fn run_ltm(s: &Sweep, scale: TpcwScale, budget_override: Option<u64>) -> LtmCell {
+    let probe = deploy_dmv(scale, s.time_scale, DmvOptions { slaves: 2, ..Default::default() });
+    let working_set_pages = probe
+        .cluster
+        .memory_gauges()
+        .iter()
+        .map(|(_, _, resident)| resident / PAGE_SIZE as u64)
+        .max()
+        .unwrap_or(0);
+    probe.cluster.shutdown();
+
+    let budget_pages = budget_override.unwrap_or((working_set_pages / 2).max(16));
+    let budget = if budget_pages == 0 {
+        BufferBudget::unbounded()
+    } else {
+        BufferBudget::pages(budget_pages as usize, PAGE_SIZE)
+    };
+    let d = deploy_dmv(
+        scale,
+        s.time_scale,
+        DmvOptions { slaves: 2, buffer_budget: budget, ..Default::default() },
+    );
+    let report = run_emulator(&d.backend, d.clock, &d.ids, scale, emulator_cfg(Mix::Shopping, s));
+    let abort_rate = d.cluster.version_abort_rate();
+
+    let (mut high_water, mut evictions, mut faults, mut max_pending) = (0u64, 0u64, 0u64, 0u64);
+    for (id, pending, _) in d.cluster.memory_gauges() {
+        let Some(r) = d.cluster.replica(id) else { continue };
+        let store = r.db().store();
+        high_water = high_water.max(store.residency_counters().high_water_pages());
+        evictions += store.residency_counters().evictions();
+        faults += store.fault_count();
+        max_pending = max_pending.max(pending);
+    }
+    d.cluster.shutdown();
+
+    // Dirty pages are unevictable until their transaction resolves, so
+    // the high-water mark may legitimately overshoot the budget by the
+    // in-flight write set; a quarter-budget slack covers that without
+    // masking an unbounded leak.
+    let bounded = budget_pages == 0 || high_water <= budget_pages + budget_pages / 4 + 64;
+    println!(
+        "  ltm (shopping, 2 slaves, budget {budget_pages}/{working_set_pages} pages): \
+         {:8.1} WIPS  upd p50 {:6.1} ms  high-water {high_water} pages  \
+         {evictions} evictions  {faults} faults  pending {max_pending} B  bounded={bounded}",
+        report.wips,
+        ms(report.update_p50_latency),
+    );
+    LtmCell {
+        working_set_pages,
+        budget_pages,
+        report,
+        abort_rate,
+        high_water_pages: high_water,
+        evictions,
+        faults,
+        max_pending_bytes: max_pending,
+        bounded,
+        duration: s.duration,
+    }
+}
+
+fn ltm_json(c: &LtmCell) -> String {
+    format!(
+        "{{\"mix\": \"shopping\", \"slaves\": 2, \"working_set_pages\": {}, \
+         \"budget_pages\": {}, \"wips\": {}, \"update_tps\": {}, \"update_p50_ms\": {}, \
+         \"update_p99_ms\": {}, \"abort_rate\": {}, \"high_water_pages\": {}, \
+         \"evictions\": {}, \"faults\": {}, \"max_pending_bytes\": {}, \"bounded\": {}}}",
+        c.working_set_pages,
+        c.budget_pages,
+        jf(c.report.wips),
+        jf(c.report.updates as f64 / c.duration.as_secs_f64()),
+        jf(ms(c.report.update_p50_latency)),
+        jf(ms(c.report.update_p99_latency)),
+        jf(c.abort_rate),
+        c.high_water_pages,
+        c.evictions,
+        c.faults,
+        c.max_pending_bytes,
+        c.bounded,
+    )
+}
+
 fn cell_json(c: &Cell) -> String {
     format!(
         "{{\"mix\": \"{}\", \"slaves\": {}, \"wips\": {}, \"updates\": {}, \
@@ -208,6 +321,7 @@ fn to_json(
     cells: &[Cell],
     single: Option<&EmulatorReport>,
     stress: Option<&Cell>,
+    ltm: Option<&LtmCell>,
     s: &Sweep,
     smoke: bool,
 ) -> String {
@@ -241,10 +355,18 @@ fn to_json(
     }
     match stress {
         Some(c) => {
-            let _ = writeln!(out, "  \"stress\": {}", cell_json(c));
+            let _ = writeln!(out, "  \"stress\": {},", cell_json(c));
         }
         None => {
-            let _ = writeln!(out, "  \"stress\": null");
+            let _ = writeln!(out, "  \"stress\": null,");
+        }
+    }
+    match ltm {
+        Some(c) => {
+            let _ = writeln!(out, "  \"ltm\": {}", ltm_json(c));
+        }
+        None => {
+            let _ = writeln!(out, "  \"ltm\": null");
         }
     }
     out.push_str("}\n");
@@ -294,9 +416,10 @@ fn main() {
     );
 
     let stress_only = args.iter().any(|a| a == "--stress-only");
+    let ltm_only = args.iter().any(|a| a == "--ltm-only");
     let mut cells = Vec::new();
     let mut single = None;
-    if !stress_only {
+    if !stress_only && !ltm_only {
         for &mix in &s.mixes {
             println!("\n--- {mix} mix ({}% updates) ---", (mix.update_fraction() * 100.0).round());
             for &n in &s.slave_counts {
@@ -306,7 +429,7 @@ fn main() {
         println!("\n--- single-writer latency probe ---");
         single = Some(run_single_writer(&s, scale));
     }
-    let stress = if smoke {
+    let stress = if smoke || ltm_only {
         None
     } else {
         let mut st = stress_params(&s);
@@ -325,7 +448,14 @@ fn main() {
         Some(run_cell(Mix::Ordering, slaves, &st, scale))
     };
 
-    let json = to_json(&cells, single.as_ref(), stress.as_ref(), &s, smoke);
+    let ltm = if stress_only {
+        None
+    } else {
+        println!("\n--- larger-than-memory: shopping under a half-working-set budget ---");
+        Some(run_ltm(&s, scale, flag_val::<u64>(&args, "--ltm-budget-pages")))
+    };
+
+    let json = to_json(&cells, single.as_ref(), stress.as_ref(), ltm.as_ref(), &s, smoke);
     std::fs::write(&out_path, &json).expect("write BENCH_e2e.json");
     println!("\nwrote {out_path}");
 }

@@ -7,6 +7,7 @@
 //! roughly what factor, where the dips and recoveries fall).
 
 use dmv_common::clock::{SimClock, TimeScale};
+use dmv_common::config::BufferBudget;
 use dmv_common::stats::SeriesPoint;
 use dmv_core::cluster::{ClusterSpec, DmvCluster};
 use dmv_core::scheduler::WarmupStrategy;
@@ -50,6 +51,9 @@ pub struct DmvOptions {
     pub fault_latency: Duration,
     /// On-disk persistence backends.
     pub backends: usize,
+    /// Per-node buffer budget (larger-than-memory runs); unbounded by
+    /// default.
+    pub buffer_budget: BufferBudget,
 }
 
 impl Default for DmvOptions {
@@ -61,6 +65,7 @@ impl Default for DmvOptions {
             checkpoint_period: None,
             fault_latency: Duration::from_millis(8),
             backends: 0,
+            buffer_budget: BufferBudget::unbounded(),
         }
     }
 }
@@ -74,6 +79,7 @@ pub fn deploy_dmv(scale: TpcwScale, time_scale: f64, opts: DmvOptions) -> DmvDep
     spec.checkpoint_period = opts.checkpoint_period;
     spec.fault_latency = opts.fault_latency;
     spec.n_backends = opts.backends;
+    spec.buffer_budget = opts.buffer_budget;
     spec.detect_interval = Duration::from_millis(500);
     let cluster = DmvCluster::start(spec);
     let pop = generate(scale, SEED);

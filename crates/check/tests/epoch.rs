@@ -1,0 +1,149 @@
+//! Model tests for the epoch-based reclamation manager (`dmv-epoch`).
+//!
+//! Run with `RUSTFLAGS="--cfg dmv_check" cargo test -p dmv-check`.
+//!
+//! The GC-safety argument is a lattice claim: the published watermark is
+//! a lower bound of every pinned reader tag and only ever advances.
+//! These tests explore every interleaving (within the preemption bound)
+//! of pin / advance / sweep against the *real* `EpochManager`, plus a
+//! deliberate-bug twin proving the monotone publish is load-bearing.
+
+#![cfg(dmv_check)]
+
+use std::sync::Arc;
+
+use dmv_check::sync::Mutex;
+use dmv_check::{model_result, thread, ModelOptions};
+use dmv_common::version::VersionVector;
+use dmv_epoch::EpochManager;
+
+fn vv(entries: &[u64]) -> VersionVector {
+    VersionVector::from_entries(entries.to_vec())
+}
+
+/// The core GC-safety invariant: while a reader holds a pin at tag `T`,
+/// no concurrent sweep publishes a watermark above `T` — even with a
+/// commit racing `latest` forward between the pin and the sweep.
+#[test]
+fn watermark_never_overtakes_a_pinned_tag() {
+    let report = model_result(ModelOptions::default(), || {
+        let m = EpochManager::new(1);
+        m.advance_latest(&vv(&[1]));
+        let tag = m.latest();
+        let guard = m.pin(&tag);
+        let sweeper = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                // A commit lands and a GC sweep runs, both racing the
+                // pinned reader.
+                m.advance_latest(&vv(&[2]));
+                m.watermark()
+            })
+        };
+        let wm = m.watermark();
+        assert!(tag.dominates(&wm), "watermark {wm} overtook pinned tag {tag}");
+        let wm2 = sweeper.join().expect("join sweeper");
+        assert!(tag.dominates(&wm2), "sweeper watermark {wm2} overtook pinned tag {tag}");
+        drop(guard);
+    })
+    .expect("a pinned tag always dominates the watermark");
+    assert!(report.exhausted, "bounded space should be fully explored");
+}
+
+/// Pin/unpin racing a sweep: whatever interleaving the checker picks,
+/// the published watermark never exceeds `latest`, and consecutive
+/// publishes never regress (the monotone `low` merge absorbs a sweep
+/// that computed its meet before a newer pin landed).
+#[test]
+fn published_watermark_is_monotone_across_racing_sweeps() {
+    let report = model_result(ModelOptions::default(), || {
+        let m = EpochManager::new(1);
+        m.advance_latest(&vv(&[3]));
+        let pinner = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                // A reader pins an old tag mid-stream and sweeps; its
+                // meet is [1] but the publish must not drag `low` back.
+                let g = m.pin(&vv(&[1]));
+                let wm = m.watermark();
+                drop(g);
+                wm
+            })
+        };
+        let w1 = m.watermark();
+        let w2 = m.watermark();
+        assert!(w2.dominates(&w1), "published watermark regressed: {w1} then {w2}");
+        let w3 = pinner.join().expect("join pinner");
+        assert!(m.latest().dominates(&w3), "watermark {w3} exceeded latest");
+    })
+    .expect("publish is monotone under racing pins");
+    assert!(report.exhausted);
+}
+
+/// Companion: WITHOUT the monotone merge — a sweeper that *overwrites*
+/// the published value with its own meet — two racing sweeps regress
+/// the watermark: sweep A (no pin visible) publishes 2, then sweep B
+/// (computed earlier, under a pin at 1) publishes 1. A consumer acting
+/// on the first publish has already reclaimed state the second one
+/// re-promises. The checker proves the `low.merge` in
+/// `EpochManager::watermark` is load-bearing by finding the inversion.
+#[test]
+fn overwriting_publish_regresses_and_is_caught() {
+    let failure = model_result(ModelOptions::default(), || {
+        let latest = Arc::new(Mutex::new(2u64));
+        let pin = Arc::new(Mutex::new(Some(1u64)));
+        let low = Arc::new(Mutex::new(0u64));
+        let log = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let sweep = |latest: &Arc<Mutex<u64>>,
+                     pin: &Arc<Mutex<Option<u64>>>,
+                     low: &Arc<Mutex<u64>>,
+                     log: &Arc<Mutex<Vec<u64>>>| {
+            let mut wm = *latest.lock();
+            if let Some(p) = *pin.lock() {
+                wm = wm.min(p);
+            }
+            // BUG (deliberate): overwrite instead of merging into the
+            // monotone published value.
+            *low.lock() = wm;
+            log.lock().push(wm);
+        };
+        let sweeper = {
+            let (latest, pin, low, log) =
+                (Arc::clone(&latest), Arc::clone(&pin), Arc::clone(&low), Arc::clone(&log));
+            thread::spawn(move || sweep(&latest, &pin, &low, &log))
+        };
+        // The pinned reader finishes; a second sweep runs pin-free.
+        *pin.lock() = None;
+        sweep(&latest, &pin, &low, &log);
+        sweeper.join().expect("join sweeper");
+        let log = log.lock();
+        assert!(log.windows(2).all(|w| w[1] >= w[0]), "published watermark regressed: {:?}", &*log);
+    })
+    .expect_err("the regression must be caught");
+    assert!(failure.message.contains("regressed"), "got: {}", failure.message);
+}
+
+/// Guard RAII under races: a pin dropped on another thread is really
+/// gone — after both joins the watermark reaches `latest`, and while
+/// either guard lived it never exceeded that guard's tag.
+#[test]
+fn unpin_releases_the_watermark_exactly_once() {
+    let report = model_result(ModelOptions::default(), || {
+        let m = EpochManager::new(1);
+        m.advance_latest(&vv(&[5]));
+        let reader = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                let g = m.pin(&vv(&[2]));
+                let wm = m.watermark();
+                assert!(vv(&[2]).dominates(&wm), "watermark {wm} overtook live pin [2]");
+                drop(g);
+            })
+        };
+        reader.join().expect("join reader");
+        assert_eq!(m.pinned_count(), 0, "guard leaked its pin");
+        assert_eq!(m.watermark(), vv(&[5]), "released pin still caps the watermark");
+    })
+    .expect("guard drop releases the pin");
+    assert!(report.exhausted);
+}

@@ -201,9 +201,59 @@ impl Default for GroupCommitConfig {
     }
 }
 
+/// Buffer budget for a replica's page store
+/// (`ClusterSpec.buffer_budget`, plumbed into every node).
+///
+/// Models the paper's finite buffer cache: once the resident page set
+/// exceeds [`max_resident_bytes`](Self::max_resident_bytes), a
+/// clock/second-chance evictor marks cold clean pages non-resident, so
+/// re-touching them charges the page-in latency through the node's
+/// single-arm disk throttle. A budget of `0` (the [`unbounded`]
+/// default) disables eviction entirely — the pre-epoch behavior, and
+/// the right choice for pure-logic tests.
+///
+/// [`unbounded`]: Self::unbounded
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferBudget {
+    /// Resident-byte ceiling per node; `0` means unlimited.
+    pub max_resident_bytes: usize,
+}
+
+impl BufferBudget {
+    /// No budget: every touched page stays resident (pre-epoch
+    /// behavior).
+    pub fn unbounded() -> Self {
+        BufferBudget { max_resident_bytes: 0 }
+    }
+
+    /// A budget of exactly `pages` resident pages.
+    pub fn pages(pages: usize, page_size: usize) -> Self {
+        BufferBudget { max_resident_bytes: pages * page_size }
+    }
+
+    /// True if eviction is enabled.
+    pub fn is_bounded(&self) -> bool {
+        self.max_resident_bytes > 0
+    }
+}
+
+impl Default for BufferBudget {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn buffer_budget_default_is_unbounded() {
+        let b = BufferBudget::default();
+        assert!(!b.is_bounded());
+        assert!(BufferBudget::pages(64, 4096).is_bounded());
+        assert_eq!(BufferBudget::pages(64, 4096).max_resident_bytes, 64 * 4096);
+    }
 
     #[test]
     fn group_commit_defaults_sane() {

@@ -65,9 +65,28 @@ impl PendingDiff {
     fn diff(&self) -> &PageDiff {
         &self.ws.pages[self.idx].1
     }
+
+    /// Encoded size of this entry's diff — the unit of pending-byte
+    /// accounting (the `Arc<WriteSet>` bytes are shared, so the encoded
+    /// diff length is the honest per-entry footprint).
+    fn byte_len(&self) -> u64 {
+        self.diff().encoded_len() as u64
+    }
 }
 
-type PageQueue = Arc<Mutex<VecDeque<PendingDiff>>>;
+/// A page's pending queue plus its reap flag. `dead` is set (under both
+/// the shard-map and queue locks) when the reclaim sweep removes a
+/// drained entry from the map: an enqueuer that captured the `Arc`
+/// before removal re-checks the flag under the queue lock and
+/// re-inserts through the map instead of pushing into a limbo queue no
+/// reader can ever find.
+#[derive(Default)]
+struct PageQueueSlot {
+    q: VecDeque<PendingDiff>,
+    dead: bool,
+}
+
+type PageQueue = Arc<Mutex<PageQueueSlot>>;
 
 /// Fibonacci-hash a page id onto a shard index. All three id
 /// components participate so heap/index pages of one table spread out.
@@ -94,6 +113,10 @@ pub struct PendingApplier {
     wait_timeout: Duration,
     /// Write-sets enqueued (not yet necessarily materialized).
     enqueued_writesets: AtomicU64,
+    /// Encoded bytes of all queued (unapplied, undiscarded) diffs —
+    /// the replica's pending-memory figure fed to the bounded-memory
+    /// oracle and the bench high-water tracking.
+    pending_diff_bytes: AtomicU64,
     /// Optional history tap and the node id to attribute events to.
     trace: RwLock<Option<(NodeId, SharedTap)>>,
 }
@@ -110,6 +133,7 @@ impl PendingApplier {
             received_cv: Condvar::new(),
             wait_timeout,
             enqueued_writesets: AtomicU64::new(0),
+            pending_diff_bytes: AtomicU64::new(0),
             trace: RwLock::new(None),
         };
         for shard in &applier.queues {
@@ -132,8 +156,25 @@ impl PendingApplier {
         }
     }
 
-    fn queue_of(&self, id: PageId) -> PageQueue {
-        Arc::clone(self.queues[shard_of(id)].lock().entry(id).or_default())
+    /// Looks up a page's queue without inserting one. The apply path
+    /// must use this (not an `entry().or_default()`): every tagged read
+    /// consults the queue, and inserting on lookup would grow the shard
+    /// maps by one entry per page ever read, with nothing to reap them.
+    fn lookup_queue(&self, id: PageId) -> Option<PageQueue> {
+        self.queues[shard_of(id)].lock().get(&id).map(Arc::clone)
+    }
+
+    /// Slow-path insert used when an enqueuer's captured queue turned
+    /// out dead. Holding the shard-map lock while locking the slot
+    /// guarantees liveness: the reaper marks a slot dead and removes it
+    /// from the map in one map-locked critical section, so any `Arc`
+    /// obtained from the map under the map lock is not dead.
+    fn push_via_map(&self, id: PageId, diff: PendingDiff) {
+        let mut map = self.queues[shard_of(id)].lock();
+        let q = Arc::clone(map.entry(id).or_default());
+        let mut slot = q.lock();
+        debug_assert!(!slot.dead, "a mapped slot cannot be dead under the map lock");
+        slot.q.push_back(diff);
     }
 
     /// Enqueues a received write-set: each page's entry points into the
@@ -163,6 +204,7 @@ impl PendingApplier {
                 ));
             }
         }
+        let mut queued_bytes = 0u64;
         for (shard, entries) in buckets.into_iter().enumerate() {
             if entries.is_empty() {
                 continue;
@@ -171,10 +213,20 @@ impl PendingApplier {
                 let mut map = self.queues[shard].lock();
                 entries.iter().map(|(id, _)| Arc::clone(map.entry(*id).or_default())).collect()
             };
-            for (q, (_, diff)) in queues.into_iter().zip(entries) {
-                q.lock().push_back(diff);
+            for (q, (id, diff)) in queues.into_iter().zip(entries) {
+                queued_bytes += diff.byte_len();
+                let mut slot = q.lock();
+                if slot.dead {
+                    // A reclaim sweep reaped this slot between our map
+                    // pass and this push; re-insert through the map.
+                    drop(slot);
+                    self.push_via_map(id, diff);
+                } else {
+                    slot.q.push_back(diff);
+                }
             }
         }
+        self.pending_diff_bytes.fetch_add(queued_bytes, Ordering::Relaxed); // relaxed-ok: diagnostics gauge
         self.received.merge(&last.versions);
         self.notify_waiters();
         self.enqueued_writesets.fetch_add(sets.len() as u64, Ordering::Relaxed); // relaxed-ok: diagnostics counter; stream order is carried by received + wait_lock
@@ -252,20 +304,28 @@ impl PendingApplier {
 
     /// Applies queued diffs of `cell` up to `want` (one table entry).
     fn apply_up_to(&self, id: PageId, cell: &PageCell, want: u64) -> DmvResult<()> {
-        let q = self.queue_of(id);
-        let mut q = q.lock();
+        let q = self.lookup_queue(id);
+        let mut slot = q.as_ref().map(|q| q.lock());
         let mut page = cell.latch.write();
-        while let Some(front) = q.front() {
-            if front.version > want {
-                break;
+        let mut applied_bytes = 0u64;
+        if let Some(slot) = slot.as_mut() {
+            while let Some(front) = slot.q.front() {
+                if front.version > want {
+                    break;
+                }
+                let entry = slot.q.pop_front().expect("front checked"); // unwrap-ok: front() returned Some under the same queue lock
+                applied_bytes += entry.byte_len();
+                // Idempotence across migration: a page image received
+                // during data migration may already include this diff.
+                if entry.version > page.version {
+                    entry.diff().apply(page.data_mut());
+                    page.version = entry.version;
+                }
             }
-            let entry = q.pop_front().expect("front checked"); // unwrap-ok: front() returned Some under the same queue lock
-                                                               // Idempotence across migration: a page image received during
-                                                               // data migration may already include this diff.
-            if entry.version > page.version {
-                entry.diff().apply(page.data_mut());
-                page.version = entry.version;
-            }
+        }
+        if applied_bytes > 0 {
+            // relaxed-ok: diagnostics gauge
+            self.pending_diff_bytes.fetch_sub(applied_bytes, Ordering::Relaxed);
         }
         if page.version > want {
             return Err(DmvError::VersionConflict { page: id, wanted: want, found: page.version });
@@ -286,6 +346,55 @@ impl PendingApplier {
                 }
             }
         }
+        self.reap_empty();
+    }
+
+    /// Eagerly applies every queued diff at or below the reclamation
+    /// watermark `wm`, then reaps the queues left empty. This is the
+    /// GC half of epoch-based reclamation: the epoch manager guarantees
+    /// `wm` is dominated by every pinned reader tag, so applying up to
+    /// it can never rob a pinned reader of a version it still needs —
+    /// a reader ahead of `wm` materializes later diffs on demand, and a
+    /// page already *past* `wm` (upgraded by a newer-tagged read) is
+    /// left alone, exactly as [`ReadGate::prepare_read`] would find it.
+    ///
+    /// Returns the number of page-queue map entries reaped.
+    pub fn reclaim_up_to(&self, wm: &VersionVector) -> usize {
+        for shard in &self.queues {
+            let ids: Vec<PageId> = shard.lock().keys().copied().collect();
+            for id in ids {
+                if let Some(cell) = self.store.get(id) {
+                    // VersionConflict just means the page is already
+                    // ahead of the watermark; the queue was still
+                    // drained up to `wm`, which is all GC needs.
+                    let _ = self.apply_up_to(id, &cell, wm.get(id.table));
+                }
+            }
+        }
+        self.reap_empty()
+    }
+
+    /// Removes shard-map entries whose queues are drained, releasing
+    /// the `Arc<WriteSet>` allocations they pinned. A slot is marked
+    /// dead and unmapped in one map-locked critical section, so a
+    /// concurrent enqueue that captured the `Arc` earlier re-checks
+    /// `dead` under the queue lock and re-inserts through the map.
+    fn reap_empty(&self) -> usize {
+        let mut reaped = 0usize;
+        for shard in &self.queues {
+            let mut map = shard.lock();
+            map.retain(|_, q| {
+                let mut slot = q.lock();
+                if slot.q.is_empty() {
+                    slot.dead = true;
+                    reaped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        reaped
     }
 
     /// Fully applies one page's queue (support-slave side of migration).
@@ -300,13 +409,26 @@ impl PendingApplier {
     /// transactions the failed master never acknowledged (§4.2). Also
     /// clamps the received vector so later waits don't trust ghosts.
     pub fn discard_above(&self, versions: &VersionVector) {
+        let mut dropped_bytes = 0u64;
         for shard in &self.queues {
             let shard = shard.lock();
             for (id, q) in shard.iter() {
                 let keep = versions.get(id.table);
-                q.lock().retain(|e| e.version <= keep);
+                q.lock().q.retain(|e| {
+                    if e.version <= keep {
+                        true
+                    } else {
+                        dropped_bytes += e.byte_len();
+                        false
+                    }
+                });
             }
         }
+        if dropped_bytes > 0 {
+            // relaxed-ok: diagnostics gauge
+            self.pending_diff_bytes.fetch_sub(dropped_bytes, Ordering::Relaxed);
+        }
+        self.reap_empty();
         self.received.clamp(versions);
         self.emit(|node| TraceEvent::DiscardedAbove { node, keep: versions.clone() });
     }
@@ -323,7 +445,21 @@ impl PendingApplier {
 
     /// Total queued (unapplied) diffs across all pages (diagnostics).
     pub fn pending_count(&self) -> usize {
-        self.queues.iter().map(|s| s.lock().values().map(|q| q.lock().len()).sum::<usize>()).sum()
+        self.queues.iter().map(|s| s.lock().values().map(|q| q.lock().q.len()).sum::<usize>()).sum()
+    }
+
+    /// Encoded bytes of all queued diffs — the pending-memory gauge
+    /// consumed by the bounded-memory oracle and the bench reporter.
+    pub fn pending_bytes(&self) -> u64 {
+        self.pending_diff_bytes.load(Ordering::Relaxed) // relaxed-ok: diagnostics gauge; stream order is carried by received + wait_lock
+    }
+
+    /// Number of pages holding a shard-map entry (drained or not).
+    /// [`Self::reclaim_up_to`] and [`Self::apply_all`] reap drained
+    /// entries, so on an idle replica this tracks the pages with
+    /// genuinely outstanding diffs rather than every page ever written.
+    pub fn queue_map_len(&self) -> usize {
+        self.queues.iter().map(|s| s.lock().len()).sum()
     }
 }
 
@@ -565,6 +701,108 @@ mod tests {
         // table 1's page remains unapplied
         let id1 = PageId::heap(TableId(1), 0);
         assert_eq!(store.get(id1).unwrap().latch.read().version, 0);
+    }
+
+    #[test]
+    fn shard_map_is_reaped_after_drain() {
+        // Regression: `queue_of`'s entry().or_default() used to insert
+        // one map entry per page ever written and nothing removed them,
+        // so the shard maps (and the Arc<WriteSet>s their queues held)
+        // grew without bound on a long-lived replica.
+        let (_store, a) = applier();
+        const N: u64 = 128;
+        for n in 0..N {
+            a.enqueue(&ws(n + 1, 0, n + 1, n as u32, 10));
+        }
+        assert_eq!(a.queue_map_len(), N as usize);
+        assert!(a.pending_bytes() > 0);
+        a.apply_all();
+        assert_eq!(a.pending_count(), 0);
+        assert_eq!(a.queue_map_len(), 0, "drained queues must leave the map");
+        assert_eq!(a.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn reads_do_not_grow_the_queue_map() {
+        let (store, a) = applier();
+        let id = PageId::heap(TableId(0), 7);
+        store.get_or_create(id);
+        let cell = store.get(id).unwrap();
+        let tag = VersionVector::new(2);
+        a.prepare_read(id, &cell, &tag).unwrap();
+        assert_eq!(a.queue_map_len(), 0, "a tagged read of a quiet page must not insert a queue");
+    }
+
+    #[test]
+    fn reclaim_applies_up_to_the_watermark_and_reaps() {
+        let (store, a) = applier();
+        let w1 = ws(1, 0, 1, 0, 10);
+        let w2 = ws(2, 0, 2, 0, 20);
+        let w3 = ws(3, 0, 3, 1, 30);
+        a.enqueue(&w1);
+        a.enqueue(&w2);
+        a.enqueue(&w3);
+        let mut wm = VersionVector::new(2);
+        wm.set(TableId(0), 2);
+        let reaped = a.reclaim_up_to(&wm);
+        assert_eq!(reaped, 1, "page 0's queue drained; page 1 still holds v3");
+        assert_eq!(a.pending_count(), 1);
+        assert_eq!(a.queue_map_len(), 1);
+        assert_eq!(Arc::strong_count(&w1), 1, "reclaim released the write-set handle");
+        assert_eq!(Arc::strong_count(&w2), 1);
+        assert_eq!(Arc::strong_count(&w3), 2, "v3 is above the watermark and stays queued");
+        let cell = store.get(PageId::heap(TableId(0), 0)).unwrap();
+        assert_eq!(cell.latch.read().version, 2, "reclaim applies, never drops");
+        assert_eq!(cell.latch.read().data()[0], 20);
+    }
+
+    #[test]
+    fn reclaim_tolerates_pages_ahead_of_the_watermark() {
+        let (store, a) = applier();
+        a.enqueue(&ws(1, 0, 1, 0, 10));
+        a.enqueue(&ws(2, 0, 2, 0, 20));
+        // A new-tagged reader materializes version 2 first.
+        let id = PageId::heap(TableId(0), 0);
+        let cell = store.get(id).unwrap();
+        let mut tag = VersionVector::new(2);
+        tag.set(TableId(0), 2);
+        a.prepare_read(id, &cell, &tag).unwrap();
+        // The cluster watermark lags at 1; reclaim must still reap.
+        let mut wm = VersionVector::new(2);
+        wm.set(TableId(0), 1);
+        a.reclaim_up_to(&wm);
+        assert_eq!(a.queue_map_len(), 0);
+        assert_eq!(cell.latch.read().version, 2, "the newer materialization is untouched");
+    }
+
+    #[test]
+    fn enqueue_after_reap_lands_in_a_fresh_queue() {
+        let (store, a) = applier();
+        a.enqueue(&ws(1, 0, 1, 0, 10));
+        a.apply_all();
+        assert_eq!(a.queue_map_len(), 0);
+        a.enqueue(&ws(2, 0, 2, 0, 20));
+        assert_eq!(a.queue_map_len(), 1);
+        assert_eq!(a.pending_count(), 1);
+        a.apply_all();
+        let cell = store.get(PageId::heap(TableId(0), 0)).unwrap();
+        assert_eq!(cell.latch.read().version, 2);
+        assert_eq!(cell.latch.read().data()[0], 20);
+    }
+
+    #[test]
+    fn pending_bytes_falls_on_discard() {
+        let (_store, a) = applier();
+        a.enqueue(&ws(1, 0, 1, 0, 10));
+        a.enqueue(&ws(2, 0, 2, 0, 20));
+        let full = a.pending_bytes();
+        assert!(full > 0);
+        let mut keep = VersionVector::new(2);
+        keep.set(TableId(0), 1);
+        a.discard_above(&keep);
+        assert!(a.pending_bytes() < full);
+        a.apply_all();
+        assert_eq!(a.pending_bytes(), 0);
     }
 
     #[test]

@@ -9,12 +9,13 @@ use crate::trace::SharedTap;
 use dmv_check::sync::atomic::{AtomicBool, Ordering};
 use dmv_check::sync::{Mutex, RwLock};
 use dmv_common::clock::{SimClock, TimeScale};
-use dmv_common::config::{CpuProfile, DiskProfile, GroupCommitConfig, NetProfile};
+use dmv_common::config::{BufferBudget, CpuProfile, DiskProfile, GroupCommitConfig, NetProfile};
 use dmv_common::error::{DmvError, DmvResult};
 use dmv_common::ids::{NodeId, ReplicaRole, TableId};
 use dmv_common::stats::TxnStats;
 use dmv_common::version::VersionVector;
 use dmv_common::wire::Wire;
+use dmv_epoch::EpochManager;
 use dmv_net::{DynTransport, SimnetTransport};
 use dmv_ondisk::{DiskDb, DiskDbOptions};
 use dmv_sql::exec::{execute, ResultSet};
@@ -80,6 +81,13 @@ pub struct ClusterSpec {
     pub auto_activate_spares: bool,
     /// Version-aware read routing (ablation toggle; paper default on).
     pub same_version_routing: bool,
+    /// Resident-byte budget per in-memory replica (see
+    /// [`BufferBudget`]); unbounded by default.
+    pub buffer_budget: BufferBudget,
+    /// Period of the epoch GC sweep (watermark broadcast + pending-queue
+    /// reclamation), paper time. `None` disables the background sweep;
+    /// deterministic harnesses call [`DmvCluster::gc_sweep`] directly.
+    pub gc_interval: Option<Duration>,
 }
 
 impl ClusterSpec {
@@ -107,6 +115,8 @@ impl ClusterSpec {
             log_latency: Duration::from_micros(500),
             auto_activate_spares: true,
             same_version_routing: true,
+            buffer_budget: BufferBudget::unbounded(),
+            gc_interval: Some(Duration::from_millis(500)),
         }
     }
 
@@ -120,6 +130,8 @@ impl ClusterSpec {
         s.detect_interval = Duration::from_millis(20);
         s.log_latency = Duration::ZERO;
         s.ack_timeout = Duration::from_millis(500);
+        // Deterministic tests drive GC explicitly via `gc_sweep`.
+        s.gc_interval = None;
         s
     }
 }
@@ -150,6 +162,9 @@ pub struct DmvCluster {
     next_node_id: Mutex<u32>,
     /// History tap propagated to every present and future component.
     trace_tap: Mutex<Option<SharedTap>>,
+    /// Cluster-wide epoch manager: reader pins + peer ack floors →
+    /// reclamation watermark.
+    epoch: Arc<EpochManager>,
 }
 
 impl DmvCluster {
@@ -180,6 +195,7 @@ impl DmvCluster {
             .conflict_classes
             .clone()
             .unwrap_or_else(|| vec![(0..n_tables as u16).map(TableId).collect()]);
+        let epoch = EpochManager::new(n_tables);
         let rc = ReplicaConfig {
             clock,
             cpu: spec.cpu,
@@ -187,6 +203,7 @@ impl DmvCluster {
             lock_timeout: spec.lock_timeout,
             ack_timeout: spec.ack_timeout,
             group_commit: spec.group_commit,
+            buffer_budget: spec.buffer_budget,
         };
         let mut replicas = HashMap::new();
         let mut masters = Vec::new();
@@ -243,6 +260,9 @@ impl DmvCluster {
                 ))
             })
             .collect();
+        for node in replicas.values() {
+            node.set_epoch_manager(Arc::clone(&epoch));
+        }
         let topo = Topology { masters, classes, slaves, spares };
         let sched_cfg = SchedulerConfig {
             clock,
@@ -263,6 +283,9 @@ impl DmvCluster {
                 )
             })
             .collect();
+        for s in &schedulers {
+            s.set_epoch_manager(Arc::clone(&epoch));
+        }
         Arc::new(DmvCluster {
             clock,
             net,
@@ -276,6 +299,7 @@ impl DmvCluster {
             ready: AtomicBool::new(false),
             next_node_id: Mutex::new(80),
             trace_tap: Mutex::new(None),
+            epoch,
         })
     }
 
@@ -338,6 +362,9 @@ impl DmvCluster {
         if self.spec.checkpoint_period.is_some() {
             self.start_checkpointer();
         }
+        if self.spec.gc_interval.is_some() {
+            self.start_gc();
+        }
     }
 
     /// Sleeps up to `total`, waking early (and returning true) when the
@@ -396,6 +423,86 @@ impl DmvCluster {
             })
             .expect("spawn checkpointer"); // unwrap-ok: thread spawn fails only on OS resource exhaustion at startup
         self.threads.lock().push(h);
+    }
+
+    fn start_gc(self: &Arc<Self>) {
+        let weak = Arc::downgrade(self);
+        let shutdown = Arc::clone(&self.shutdown);
+        let period = self
+            .clock
+            .scale()
+            .to_wall(self.spec.gc_interval.expect("checked")) // unwrap-ok: guarded by the gc_interval Some-check at the call site
+            .max(Duration::from_millis(10));
+        let h = dmv_check::thread::Builder::new()
+            .name("dmv-gc".into())
+            .spawn(move || loop {
+                if Self::interruptible_sleep(&shutdown, period) {
+                    break;
+                }
+                let Some(cluster) = weak.upgrade() else { break };
+                cluster.gc_broadcast();
+            })
+            .expect("spawn gc"); // unwrap-ok: thread spawn fails only on OS resource exhaustion at startup
+        self.threads.lock().push(h);
+    }
+
+    /// The cluster's epoch manager (reader pins, peer floors,
+    /// reclamation watermark).
+    pub fn epoch(&self) -> &Arc<EpochManager> {
+        &self.epoch
+    }
+
+    /// Computes the current reclamation watermark: the schedulers'
+    /// latest merged vectors are folded into the epoch manager's
+    /// `latest`, then met with every pinned reader epoch and every live
+    /// peer's cumulative-ack floor.
+    fn compute_watermark(&self) -> VersionVector {
+        for s in &self.schedulers {
+            self.epoch.advance_latest(&s.latest());
+        }
+        self.epoch.watermark()
+    }
+
+    /// One deterministic epoch GC pass: computes the watermark and
+    /// reclaims on every live replica **synchronously on the calling
+    /// thread** (no network round-trip), returning the watermark used.
+    /// This is the form deterministic harnesses (DST) drive; the
+    /// background sweeper uses [`Msg::Watermark`] broadcasts instead.
+    pub fn gc_sweep(&self) -> VersionVector {
+        let wm = self.compute_watermark();
+        for r in self.replicas.read().values() {
+            if r.is_alive() {
+                r.reclaim_local(&wm);
+            }
+        }
+        wm
+    }
+
+    /// Background-sweeper form of [`DmvCluster::gc_sweep`]: every live
+    /// master broadcasts [`Msg::Watermark`] to its targets (slaves
+    /// reclaim on their receiver threads) and reclaims locally.
+    pub fn gc_broadcast(&self) -> VersionVector {
+        let wm = self.compute_watermark();
+        let topo = self.schedulers[0].topology();
+        for m in topo.masters.iter().filter(|m| m.is_alive()) {
+            m.broadcast_watermark(&wm);
+        }
+        wm
+    }
+
+    /// Per-node memory gauges of live replicas, sorted by node id:
+    /// `(node, pending diff bytes, resident page bytes)`. Consumed by
+    /// the bounded-memory oracle and the bench high-water tracking.
+    pub fn memory_gauges(&self) -> Vec<(NodeId, u64, u64)> {
+        let mut v: Vec<(NodeId, u64, u64)> = self
+            .replicas
+            .read()
+            .values()
+            .filter(|r| r.is_alive())
+            .map(|r| (r.id(), r.pending_bytes(), r.resident_bytes()))
+            .collect();
+        v.sort_by_key(|(n, _, _)| *n);
+        v
     }
 
     /// One failure-detector sweep: finds newly dead replicas and runs the
@@ -566,6 +673,7 @@ impl DmvCluster {
             lock_timeout: self.spec.lock_timeout,
             ack_timeout: self.spec.ack_timeout,
             group_commit: self.spec.group_commit,
+            buffer_budget: self.spec.buffer_budget,
         };
         let node = ReplicaNode::start(
             id,
@@ -574,6 +682,7 @@ impl DmvCluster {
             Arc::clone(&self.net),
             rc,
         );
+        node.set_epoch_manager(Arc::clone(&self.epoch));
         node.restore_from_checkpoint(&checkpoint);
         if let Some(tap) = self.trace_tap.lock().as_ref() {
             node.set_trace_tap(Arc::clone(tap));
@@ -602,6 +711,7 @@ impl DmvCluster {
             lock_timeout: self.spec.lock_timeout,
             ack_timeout: self.spec.ack_timeout,
             group_commit: self.spec.group_commit,
+            buffer_budget: self.spec.buffer_budget,
         };
         let node = ReplicaNode::start(
             id,
@@ -610,6 +720,7 @@ impl DmvCluster {
             Arc::clone(&self.net),
             rc,
         );
+        node.set_epoch_manager(Arc::clone(&self.epoch));
         if let Some(tap) = self.trace_tap.lock().as_ref() {
             node.set_trace_tap(Arc::clone(tap));
         }

@@ -204,6 +204,15 @@ pub enum Msg {
         /// Current replication targets.
         replicas: Vec<NodeId>,
     },
+    /// Master → replicas: the cluster reclamation watermark — the meet
+    /// of every pinned reader epoch and every live peer's cumulative-ack
+    /// floor. A replica eagerly applies queued diffs up to these
+    /// versions and reaps the drained page queues; no reader the
+    /// epoch manager knows about can still demand an older version.
+    Watermark {
+        /// Reclamation watermark (componentwise safe-to-apply bound).
+        versions: VersionVector,
+    },
 }
 
 /// Wire tags of the [`Msg`] variants (protocol version 1).
@@ -220,6 +229,7 @@ mod tag {
     pub const TOPOLOGY: u8 = 5;
     pub const WRITE_SET_BATCH: u8 = 6;
     pub const CUM_ACK: u8 = 7;
+    pub const WATERMARK: u8 = 8;
 }
 
 impl Wire for Msg {
@@ -232,6 +242,7 @@ impl Wire for Msg {
             Msg::PageIdHint { pages } => 4 + pages.len() * 8,
             Msg::DiscardAbove { versions } => versions.encoded_len(),
             Msg::Topology { master, replicas } => master.encoded_len() + 4 + replicas.len() * 4,
+            Msg::Watermark { versions } => versions.encoded_len(),
         }
     }
 
@@ -272,6 +283,10 @@ impl Wire for Msg {
                     n.encode_into(out);
                 }
             }
+            Msg::Watermark { versions } => {
+                out.push(tag::WATERMARK);
+                versions.encode_into(out);
+            }
         }
     }
 
@@ -301,6 +316,7 @@ impl Wire for Msg {
                 }
                 Ok(Msg::Topology { master, replicas })
             }
+            tag::WATERMARK => Ok(Msg::Watermark { versions: VersionVector::decode(r)? }),
             t => Err(DmvError::Codec(format!("unknown message tag {t}"))),
         }
     }
@@ -343,6 +359,8 @@ mod tests {
             Msg::PageIdHint { pages: vec![] },
             Msg::DiscardAbove { versions: VersionVector::from_entries(vec![4, 0, 2]) },
             Msg::Topology { master: NodeId(0), replicas: vec![NodeId(1), NodeId(10)] },
+            Msg::Watermark { versions: VersionVector::from_entries(vec![7, 0, 3]) },
+            Msg::Watermark { versions: VersionVector::new(0) },
         ]
     }
 

@@ -21,6 +21,7 @@ use dmv_common::ids::{NodeId, TableId};
 use dmv_common::stats::TxnStats;
 use dmv_common::version::{AtomicVersionVector, VersionVector};
 use dmv_common::wire::Wire;
+use dmv_epoch::EpochManager;
 use dmv_net::DynTransport;
 use dmv_ondisk::DiskDb;
 use dmv_sql::exec::{RecordingRunner, ResultSet, StatementRunner};
@@ -150,6 +151,11 @@ pub struct Scheduler {
     backends: Vec<Arc<DiskDb>>,
     /// Optional history tap (deterministic simulation testing).
     tap: RwLock<Option<SharedTap>>,
+    /// Cluster epoch manager: every tagged read pins its snapshot
+    /// epoch for its whole execution, holding the reclamation
+    /// watermark at or below its tag. `None` disables pinning
+    /// (standalone schedulers; reclamation is then not in play).
+    epoch: RwLock<Option<Arc<EpochManager>>>,
 }
 
 impl Scheduler {
@@ -177,6 +183,7 @@ impl Scheduler {
             alive: AtomicBool::new(true),
             backends: backends.clone(),
             tap: RwLock::new(None),
+            epoch: RwLock::new(None),
         });
         dmv_check::race::label(&sched.topo, "topo");
         dmv_check::race::label(&sched.slave_loads, "slave_loads");
@@ -230,6 +237,12 @@ impl Scheduler {
     /// [`crate::trace`].
     pub fn set_trace_tap(&self, tap: SharedTap) {
         *self.tap.write() = Some(tap);
+    }
+
+    /// Installs the cluster's epoch manager; tagged reads pin their
+    /// epoch in it for the duration of their execution.
+    pub fn set_epoch_manager(&self, epoch: Arc<EpochManager>) {
+        *self.epoch.write() = Some(epoch);
     }
 
     fn emit(&self, f: impl FnOnce() -> TraceEvent) {
@@ -439,6 +452,11 @@ impl Scheduler {
         f: &mut dyn FnMut(&mut dyn StatementRunner) -> DmvResult<()>,
     ) -> DmvResult<()> {
         let tag = self.latest();
+        // Pin the read's epoch before routing: from here until the
+        // guard drops (end of this call), the reclamation watermark
+        // cannot pass `tag`, so eager GC application can never upgrade
+        // a page past what this read may still materialize.
+        let _epoch_guard = self.epoch.read().clone().map(|e| e.pin(&tag));
         let slave = self.pick_slave(&tag)?;
         let n = self.read_counter.fetch_add(1, Ordering::Relaxed) + 1; // relaxed-ok: warmup pacing heuristic; exact interleaving immaterial
                                                                        // Warmup strategy B: periodic page-id transfer to spares.
@@ -546,6 +564,16 @@ impl Scheduler {
             *slot = Arc::clone(&new_master);
         } else {
             topo.masters.push(Arc::clone(&new_master));
+        }
+        // The dead master must not linger anywhere: every surviving
+        // master drops it from its replication targets and ack state,
+        // and the shared epoch manager forgets it in both roles — a dead
+        // observer's floor registrations would otherwise cap the
+        // reclamation watermark forever.
+        for m in &topo.masters {
+            if m.id() != failed {
+                m.unsubscribe(failed);
+            }
         }
         // New replication targets: every other live replica.
         let targets: Vec<NodeId> = topo

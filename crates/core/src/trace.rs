@@ -93,6 +93,17 @@ pub enum TraceEvent {
         /// Highest versions kept.
         keep: VersionVector,
     },
+    /// A replica ran an epoch reclamation pass: queued diffs at or
+    /// below `watermark` were eagerly applied and `reaped` drained page
+    /// queues left the shard maps.
+    Reclaimed {
+        /// Replica that reclaimed.
+        node: NodeId,
+        /// The reclamation watermark applied up to.
+        watermark: VersionVector,
+        /// Page-queue map entries reaped.
+        reaped: usize,
+    },
     /// A slave was promoted to master, continuing from `from`.
     Promoted {
         /// The promoted replica.

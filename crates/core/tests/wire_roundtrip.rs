@@ -101,6 +101,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 replicas: replicas.into_iter().map(NodeId).collect(),
             }
         ),
+        arb_version_vector().prop_map(|versions| Msg::Watermark { versions }),
     ]
 }
 
@@ -210,7 +211,7 @@ proptest! {
     #[test]
     fn corrupted_tag_never_decodes_to_the_original(msg in arb_msg(), flip in any::<u8>()) {
         let mut bytes = msg.encode();
-        let flip = flip | 0x80; // tags are < 8, so this always changes the tag
+        let flip = flip | 0x80; // tags are < 16, so this always changes the tag
         bytes[0] ^= flip;
         match decode_exact::<Msg>(&bytes) {
             // Unknown tag: rejected.

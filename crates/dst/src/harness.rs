@@ -28,6 +28,7 @@ use dmv_common::ids::{NodeId, TableId};
 use dmv_common::version::VersionVector;
 use dmv_core::cluster::{ClusterSpec, DmvCluster, Session};
 use dmv_core::{Msg, SharedTap, TraceEvent};
+use dmv_epoch::EpochGuard;
 use dmv_net::{DynTransport, FaultTransport, SimnetTransport, Transport};
 use dmv_ondisk::rows_digest;
 use dmv_sql::{
@@ -147,6 +148,14 @@ struct Harness<'a> {
     /// TPC-W per-client step drivers, lazily created.
     drivers: HashMap<u64, StepDriver>,
     tpcw: Option<(Backend, Arc<IdAllocator>, TpcwScale)>,
+    /// Active buffer budget in pages (set by `mem-pressure`, persists).
+    budget_pages: Option<u32>,
+    /// Per-client pinned snapshots: each client's last successful read
+    /// tag plus the live epoch guard holding it pinned. The GC-safety
+    /// oracle recomputes the pin floor from *this* map — the harness's
+    /// own bookkeeping — so a broken epoch manager cannot vouch for
+    /// itself.
+    pins: HashMap<u64, (VersionVector, EpochGuard)>,
     failures: Vec<String>,
     commits: u64,
     reads: u64,
@@ -155,6 +164,19 @@ struct Harness<'a> {
 
 /// Runs `s` to completion and evaluates every oracle.
 pub fn run_schedule(s: &Schedule) -> RunReport {
+    run_schedule_inner(s, false)
+}
+
+/// Deliberate-mutation entry point: runs `s` with the epoch manager's
+/// `set_ignore_pins_for_test` hook armed, so the reclamation watermark
+/// runs straight past pinned readers. The GC-safety oracle MUST fail on
+/// any schedule that pins a tag and then commits past it — a passing
+/// run here means the oracle has lost its teeth.
+pub fn run_schedule_with_gc_mutation(s: &Schedule) -> RunReport {
+    run_schedule_inner(s, true)
+}
+
+fn run_schedule_inner(s: &Schedule, mutate_gc: bool) -> RunReport {
     let cfg = &s.config;
     let schema = match cfg.workload {
         Workload::Bank => bank_schema(),
@@ -205,6 +227,9 @@ pub fn run_schedule(s: &Schedule) -> RunReport {
         }
     }
     cluster.finish_load();
+    if mutate_gc {
+        cluster.epoch().set_ignore_pins_for_test(true);
+    }
 
     let history = Arc::new(History::new());
     cluster.set_trace_tap(Arc::clone(&history) as SharedTap);
@@ -239,6 +264,8 @@ pub fn run_schedule(s: &Schedule) -> RunReport {
         partitions: Vec::new(),
         drivers: HashMap::new(),
         tpcw,
+        budget_pages: None,
+        pins: HashMap::new(),
         failures: Vec::new(),
         commits: 0,
         reads: 0,
@@ -249,6 +276,13 @@ pub fn run_schedule(s: &Schedule) -> RunReport {
     for (idx, ev) in s.events.iter().enumerate() {
         let outcome = h.step(ev);
         trace.push(format!("{idx:03} {ev} | {outcome}"));
+        // Once a budget is active, reclamation runs continuously: a GC
+        // sweep plus the bounded-memory and GC-safety oracles after
+        // every event. Oracle verdicts go to `failures`, not the trace
+        // — the trace stays a function of the schedule alone.
+        if h.budget_pages.is_some() {
+            h.gc_check();
+        }
     }
     trace.push(format!("end drain | {}", h.drain()));
     trace.push(format!("end oracle | {}", h.final_oracles()));
@@ -389,6 +423,99 @@ impl Harness<'_> {
                 }
                 "-".to_string()
             }
+            Event::MemPressure { pages } => {
+                self.budget_pages = Some(*pages);
+                let clamped = self.apply_budgets();
+                format!("budget_pages={pages} clamped={clamped}")
+            }
+        }
+    }
+
+    /// Live replica ids (slaves and masters), sorted and deduped.
+    fn live_replica_ids(&self) -> Vec<NodeId> {
+        let mut ids = self.alive_slaves();
+        for class in 0..self.s.config.n_classes.max(1) {
+            ids.push(self.master_id(class));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids.retain(|id| self.cluster.replica(*id).is_some_and(|r| r.is_alive()));
+        ids
+    }
+
+    /// (Re)applies the active buffer budget to every live replica's
+    /// page store. Idempotent, and re-run before every GC check so
+    /// nodes that joined after the `mem-pressure` event (reintegration,
+    /// fresh integration) are clamped too.
+    fn apply_budgets(&self) -> usize {
+        let Some(pages) = self.budget_pages else { return 0 };
+        let bytes = u64::from(pages) * dmv_pagestore::PAGE_SIZE as u64;
+        let ids = self.live_replica_ids();
+        for id in &ids {
+            if let Some(r) = self.cluster.replica(*id) {
+                r.db().store().set_budget_bytes(bytes);
+            }
+        }
+        ids.len()
+    }
+
+    /// One reclamation round plus the two epoch oracles.
+    ///
+    /// * **GC-safety**: the sweep's watermark never exceeds the latest
+    ///   committed vector, nor any tag in the harness's own pin map —
+    ///   so no pinned reader can have had a version it may still ask
+    ///   for reclaimed out from under it. (The read-path oracles keep
+    ///   proving the stronger data-level claim: a pinned-tag read
+    ///   returns exactly its snapshot or aborts with `VersionConflict`.)
+    /// * **Bounded-memory**: after the sweep, every live replica's
+    ///   pending diff bytes plus resident page bytes fit in the budget
+    ///   plus a fixed slack (dirty pages the evictor must skip, plus a
+    ///   few pages of in-flight diffs the watermark has not covered).
+    fn gc_check(&mut self) {
+        self.apply_budgets();
+        let wm = self.cluster.gc_sweep();
+        let latest = self.cluster.epoch().latest();
+        let mut problems = Vec::new();
+        if !latest.dominates(&wm) {
+            problems.push(format!(
+                "GC safety violated: watermark {} exceeds committed latest {}",
+                fmt_vv(&wm),
+                fmt_vv(&latest)
+            ));
+        }
+        for (client, (tag, _guard)) in &self.pins {
+            if !tag.dominates(&wm) {
+                problems.push(format!(
+                    "GC safety violated: watermark {} overtook client {client}'s pinned tag {}",
+                    fmt_vv(&wm),
+                    fmt_vv(tag)
+                ));
+            }
+        }
+        let budget = u64::from(self.budget_pages.expect("gc_check runs only under a budget"))
+            * dmv_pagestore::PAGE_SIZE as u64;
+        let slack = 4 * dmv_pagestore::PAGE_SIZE as u64;
+        for id in self.live_replica_ids() {
+            let Some(r) = self.cluster.replica(id) else { continue };
+            let store = r.db().store();
+            store.enforce_budget();
+            let dirty: u64 = store
+                .page_ids()
+                .iter()
+                .filter(|p| store.get(**p).is_some_and(|c| c.is_dirty()))
+                .count() as u64
+                * dmv_pagestore::PAGE_SIZE as u64;
+            let resident = store.resident_bytes();
+            let pending = r.pending_bytes();
+            if pending + resident > budget + dirty + slack {
+                problems.push(format!(
+                    "bounded-memory violated on node {id:?}: pending {pending}B + \
+                     resident {resident}B > budget {budget}B + dirty {dirty}B + slack {slack}B"
+                ));
+            }
+        }
+        for p in problems {
+            self.fail(p);
         }
     }
 
@@ -449,6 +576,11 @@ impl Harness<'_> {
                 };
                 self.reads += 1;
                 self.check_bank_snapshot(&tag, &rs[0].rows, &rs[1].rows, "read");
+                // The client keeps its snapshot pinned until its next
+                // read (a long-running reader from the epoch manager's
+                // point of view); the old guard drops on replace.
+                let guard = self.cluster.epoch().pin(&tag);
+                self.pins.insert(client, (tag.clone(), guard));
                 format!("slave={slave:?} tag={} ok", fmt_vv(&tag))
             }
             Err(e) => {
@@ -571,6 +703,10 @@ impl Harness<'_> {
             .collect();
         for tag in &tags {
             self.check_monotone(client, tag);
+        }
+        if let Some(tag) = tags.last() {
+            let guard = self.cluster.epoch().pin(tag);
+            self.pins.insert(client, (tag.clone(), guard));
         }
         for e in &drained {
             match e {
@@ -801,6 +937,29 @@ impl Harness<'_> {
         }
         let healed = self.heal_all();
         let detected = self.detect();
+        // With every reader gone the watermark reaches the committed
+        // latest, so a final sweep must drain every pending queue: a
+        // diff still queued now is a leak the reclamation missed.
+        self.pins.clear();
+        if self.budget_pages.is_some() {
+            self.gc_check();
+            let wm = self.cluster.epoch().published();
+            for id in self.live_replica_ids() {
+                let Some(r) = self.cluster.replica(id) else { continue };
+                let pending = r.pending_bytes();
+                if pending > 0 {
+                    self.fail(format!(
+                        "reclamation leak: node {id:?} still holds {pending} pending \
+                         diff bytes after the unpinned final sweep (watermark {}, \
+                         latest {}, node received {}, floors {:?})",
+                        fmt_vv(&wm),
+                        fmt_vv(&self.cluster.epoch().latest()),
+                        fmt_vv(&r.applier().received()),
+                        self.cluster.epoch().floor_entries()
+                    ));
+                }
+            }
+        }
         format!("heal:{healed} detect:{detected}")
     }
 

@@ -29,7 +29,7 @@ pub mod repro;
 pub mod schedule;
 pub mod shrink;
 
-pub use harness::{run_schedule, RunReport};
+pub use harness::{run_schedule, run_schedule_with_gc_mutation, RunReport};
 pub use history::History;
 pub use oracle::BankModel;
 pub use repro::{from_repro, to_repro};

@@ -134,6 +134,11 @@ pub enum Event {
     BackendStall,
     /// Resume the backends.
     BackendResume,
+    /// Clamp every live replica's buffer budget to `pages` resident
+    /// pages and keep it clamped for the rest of the run. From this
+    /// event on the harness runs a GC sweep plus the bounded-memory and
+    /// GC-safety oracles after every event.
+    MemPressure { pages: u32 },
 }
 
 impl fmt::Display for Event {
@@ -168,6 +173,7 @@ impl fmt::Display for Event {
             Event::LatencyNormal => write!(f, "latency-normal"),
             Event::BackendStall => write!(f, "backend-stall"),
             Event::BackendResume => write!(f, "backend-resume"),
+            Event::MemPressure { pages } => write!(f, "mem-pressure pages={pages}"),
         }
     }
 }
@@ -230,6 +236,7 @@ impl Event {
             "latency-normal" => Event::LatencyNormal,
             "backend-stall" => Event::BackendStall,
             "backend-resume" => Event::BackendResume,
+            "mem-pressure" => Event::MemPressure { pages: get("pages")? as u32 },
             other => return Err(format!("unknown event `{other}`")),
         })
     }
@@ -258,6 +265,9 @@ struct GenState {
     partition_age: usize,
     spiking: bool,
     stalled: bool,
+    /// A mem-pressure budget is already active (it persists, so one per
+    /// schedule is enough to put the whole tail under pressure).
+    pressured: bool,
 }
 
 /// Generates the schedule for `seed`: cluster shape, then an event list
@@ -302,6 +312,7 @@ pub fn for_seed(seed: u64) -> Schedule {
         partition_age: 0,
         spiking: false,
         stalled: false,
+        pressured: false,
     };
     let mut events = Vec::with_capacity(n_events);
     while events.len() < n_events {
@@ -469,6 +480,10 @@ fn gen_fault(
                     Event::BackendStall
                 });
             }
+            7 if !st.pressured => {
+                st.pressured = true;
+                return Some(Event::MemPressure { pages: rng.gen_range(3..=8) });
+            }
             _ => continue,
         }
     }
@@ -514,6 +529,21 @@ mod tests {
                 assert_eq!(s.config.n_classes, 1, "seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn generator_emits_mem_pressure() {
+        let found = (0..200).any(|seed| {
+            let s = for_seed(seed);
+            s.events.iter().any(|e| matches!(e, Event::MemPressure { .. }))
+        });
+        assert!(found, "no seed in 0..200 generates mem-pressure");
+    }
+
+    #[test]
+    fn mem_pressure_parses_from_its_display_form() {
+        let ev = Event::MemPressure { pages: 5 };
+        assert_eq!(Event::parse(&ev.to_string()), Ok(ev));
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod store;
 
 pub use diff::PageDiff;
 pub use page::{Page, PAGE_SIZE};
-pub use store::{PageCell, PageStore, Residency};
+pub use store::{PageCell, PageStore, Residency, ResidencyCounters};

@@ -24,6 +24,44 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Store-wide residency accounting, shared into every [`PageCell`] so
+/// [`PageCell::set_resident`] itself keeps the counts exact — no matter
+/// which crate flips the flag. Replaces the old `resident_count` scan
+/// (a read-lock plus a full-map walk per call) with one atomic load.
+#[derive(Debug, Default)]
+pub struct ResidencyCounters {
+    resident: AtomicU64,
+    high_water: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResidencyCounters {
+    fn on_resident(&self) {
+        // relaxed-ok: occupancy counters are eventually-consistent diagnostics, never ordered against page data
+        let now = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(now, Ordering::Relaxed); // relaxed-ok: diagnostics high-water mark
+    }
+
+    fn on_evicted(&self) {
+        self.resident.fetch_sub(1, Ordering::Relaxed); // relaxed-ok: occupancy counter, see on_resident
+    }
+
+    /// Currently resident pages.
+    pub fn resident_pages(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed) // relaxed-ok: occupancy counter, see on_resident
+    }
+
+    /// Highest resident-page count ever observed.
+    pub fn high_water_pages(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed) // relaxed-ok: diagnostics high-water mark
+    }
+
+    /// Pages evicted by the budget clock so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed) // relaxed-ok: diagnostics counter
+    }
+}
+
 /// A page plus its latch and residency/dirtiness metadata.
 #[derive(Debug)]
 pub struct PageCell {
@@ -31,14 +69,23 @@ pub struct PageCell {
     pub latch: RwLock<Page>,
     resident: AtomicBool,
     dirty: AtomicBool,
+    /// Second-chance bit for the budget clock: set on every touch,
+    /// cleared (once) by a passing clock hand before eviction.
+    referenced: AtomicBool,
+    counters: Arc<ResidencyCounters>,
 }
 
 impl PageCell {
-    fn new(page: Page, resident: bool) -> Self {
+    fn new(page: Page, resident: bool, counters: Arc<ResidencyCounters>) -> Self {
+        if resident {
+            counters.on_resident();
+        }
         PageCell {
             latch: RwLock::new(page),
             resident: AtomicBool::new(resident),
             dirty: AtomicBool::new(false),
+            referenced: AtomicBool::new(resident),
+            counters,
         }
     }
 
@@ -47,9 +94,24 @@ impl PageCell {
         self.resident.load(Ordering::Acquire)
     }
 
-    /// Marks the page resident (a touch) or non-resident (eviction).
+    /// Marks the page resident (a touch) or non-resident (eviction),
+    /// keeping the store-wide [`ResidencyCounters`] exact.
     pub fn set_resident(&self, r: bool) {
-        self.resident.store(r, Ordering::Release);
+        let was = self.resident.swap(r, Ordering::AcqRel);
+        if was == r {
+            return;
+        }
+        if r {
+            self.referenced.store(true, Ordering::Release);
+            self.counters.on_resident();
+        } else {
+            self.counters.on_evicted();
+        }
+    }
+
+    /// Records a touch for the budget clock's second-chance pass.
+    pub fn mark_referenced(&self) {
+        self.referenced.store(true, Ordering::Release);
     }
 
     /// Whether the page holds uncommitted modifications. Dirty pages are
@@ -104,6 +166,15 @@ impl Residency {
     }
 }
 
+/// The budget clock's sweep state: every page id in insertion order
+/// plus the hand position. Ids are only ever appended (the page map
+/// never shrinks), so the ring needs no removal protocol.
+#[derive(Debug, Default)]
+struct ClockState {
+    ring: Vec<PageId>,
+    hand: usize,
+}
+
 /// Concurrent page map for one replica's database.
 #[derive(Debug)]
 pub struct PageStore {
@@ -111,6 +182,10 @@ pub struct PageStore {
     next_page_no: Mutex<HashMap<(TableId, PageSpace), u32>>,
     residency: Residency,
     faults: AtomicU64,
+    counters: Arc<ResidencyCounters>,
+    /// Resident-byte ceiling; `0` disables the evictor.
+    budget_bytes: AtomicU64,
+    clock_state: Mutex<ClockState>,
 }
 
 impl PageStore {
@@ -121,6 +196,9 @@ impl PageStore {
             next_page_no: Mutex::new(HashMap::new()),
             residency,
             faults: AtomicU64::new(0),
+            counters: Arc::new(ResidencyCounters::default()),
+            budget_bytes: AtomicU64::new(0),
+            clock_state: Mutex::new(ClockState::default()),
         }
     }
 
@@ -137,8 +215,10 @@ impl PageStore {
         let id = PageId { table, space, page_no: *counter };
         *counter += 1;
         drop(next);
-        let cell = Arc::new(PageCell::new(Page::new(), true));
+        let cell = Arc::new(PageCell::new(Page::new(), true, Arc::clone(&self.counters)));
         self.pages.write().insert(id, Arc::clone(&cell));
+        self.clock_state.lock().ring.push(id);
+        self.enforce_budget();
         (id, cell)
     }
 
@@ -157,13 +237,26 @@ impl PageStore {
             return c;
         }
         let mut pages = self.pages.write();
-        let cell =
-            pages.entry(id).or_insert_with(|| Arc::new(PageCell::new(Page::new(), true))).clone();
+        let mut created = false;
+        let cell = pages
+            .entry(id)
+            .or_insert_with(|| {
+                created = true;
+                Arc::new(PageCell::new(Page::new(), true, Arc::clone(&self.counters)))
+            })
+            .clone();
         drop(pages);
+        if created {
+            self.clock_state.lock().ring.push(id);
+        }
         let mut next = self.next_page_no.lock();
         let counter = next.entry((id.table, id.space)).or_insert(0);
         if *counter <= id.page_no {
             *counter = id.page_no + 1;
+        }
+        drop(next);
+        if created {
+            self.enforce_budget();
         }
         cell
     }
@@ -197,12 +290,14 @@ impl PageStore {
     /// Ensures `cell` is resident, charging the page-in cost if it was
     /// not. Returns `true` if a fault was taken.
     pub fn fault_in(&self, cell: &PageCell) -> bool {
+        cell.mark_referenced();
         if cell.is_resident() {
             return false;
         }
         self.residency.charge();
         cell.set_resident(true);
         self.faults.fetch_add(1, Ordering::Relaxed); // relaxed-ok: fault diagnostics counter
+        self.enforce_budget();
         true
     }
 
@@ -211,9 +306,68 @@ impl PageStore {
         self.faults.load(Ordering::Relaxed) // relaxed-ok: fault diagnostics counter
     }
 
-    /// Number of resident pages.
+    /// Number of resident pages — one atomic load; the counters are
+    /// maintained by [`PageCell::set_resident`] itself.
     pub fn resident_count(&self) -> usize {
-        self.pages.read().values().filter(|c| c.is_resident()).count()
+        self.counters.resident_pages() as usize
+    }
+
+    /// Resident bytes (all pages are [`crate::PAGE_SIZE`]).
+    pub fn resident_bytes(&self) -> u64 {
+        self.counters.resident_pages() * crate::PAGE_SIZE as u64
+    }
+
+    /// The store-wide residency counters (current, high-water,
+    /// evictions), for benches and oracles.
+    pub fn residency_counters(&self) -> &ResidencyCounters {
+        &self.counters
+    }
+
+    /// Sets the resident-byte budget (`0` disables eviction) and
+    /// immediately enforces it.
+    pub fn set_budget_bytes(&self, bytes: u64) {
+        self.budget_bytes.store(bytes, Ordering::Release);
+        self.enforce_budget();
+    }
+
+    /// The configured resident-byte budget (`0` = unlimited).
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes.load(Ordering::Acquire)
+    }
+
+    /// Clock/second-chance eviction down to the budget: sweeps the page
+    /// ring from the hand, skipping non-resident and dirty pages,
+    /// clearing the referenced bit on the first pass and evicting on
+    /// the second. Bounded at two full revolutions per call, so a
+    /// working set of hot (recently-referenced) pages larger than the
+    /// budget degrades to a bounded overage instead of livelock.
+    pub fn enforce_budget(&self) {
+        let budget = self.budget_bytes();
+        if budget == 0 || self.resident_bytes() <= budget {
+            return;
+        }
+        let mut clock = self.clock_state.lock();
+        let n = clock.ring.len();
+        if n == 0 {
+            return;
+        }
+        let pages = self.pages.read();
+        let mut scanned = 0usize;
+        while self.resident_bytes() > budget && scanned < 2 * n {
+            let id = clock.ring[clock.hand];
+            clock.hand = (clock.hand + 1) % n;
+            scanned += 1;
+            let Some(cell) = pages.get(&id) else { continue };
+            if !cell.is_resident() || cell.is_dirty() {
+                continue;
+            }
+            if cell.referenced.swap(false, Ordering::AcqRel) {
+                continue; // second chance: survives one hand pass
+            }
+            cell.set_resident(false);
+            // relaxed-ok: diagnostics counter, nothing ordered against it
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Marks every page non-resident (a completely cold cache, as on a
@@ -298,6 +452,104 @@ mod tests {
         let t0 = std::time::Instant::now();
         s.fault_in(&cell);
         assert!(t0.elapsed() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn resident_counter_tracks_flag_flips_exactly() {
+        let s = PageStore::new_free();
+        let cells: Vec<_> = (0..4).map(|_| s.allocate(TableId(0), PageSpace::Heap).1).collect();
+        assert_eq!(s.resident_count(), 4);
+        cells[0].set_resident(false);
+        cells[1].set_resident(false);
+        assert_eq!(s.resident_count(), 2);
+        // Redundant flips must not skew the count.
+        cells[0].set_resident(false);
+        cells[2].set_resident(true);
+        assert_eq!(s.resident_count(), 2);
+        cells[0].set_resident(true);
+        assert_eq!(s.resident_count(), 3);
+        assert_eq!(s.resident_bytes(), 3 * crate::PAGE_SIZE as u64);
+        assert_eq!(s.residency_counters().high_water_pages(), 4);
+    }
+
+    #[test]
+    fn budget_clock_evicts_down_to_the_budget() {
+        let s = PageStore::new_free();
+        for _ in 0..8 {
+            s.allocate(TableId(0), PageSpace::Heap);
+        }
+        assert_eq!(s.resident_count(), 8);
+        s.set_budget_bytes(4 * crate::PAGE_SIZE as u64);
+        assert_eq!(s.resident_count(), 4, "evictor must land exactly on the budget");
+        assert_eq!(s.residency_counters().evictions(), 4);
+        assert_eq!(s.residency_counters().high_water_pages(), 8);
+        // New allocations keep the budget enforced.
+        for _ in 0..4 {
+            s.allocate(TableId(0), PageSpace::Heap);
+        }
+        assert_eq!(s.resident_count(), 4);
+    }
+
+    #[test]
+    fn budget_clock_skips_dirty_pages() {
+        let s = PageStore::new_free();
+        let cells: Vec<_> = (0..4).map(|_| s.allocate(TableId(0), PageSpace::Heap).1).collect();
+        for c in &cells {
+            c.set_dirty(true);
+        }
+        s.set_budget_bytes(crate::PAGE_SIZE as u64);
+        assert_eq!(s.resident_count(), 4, "dirty pages are not evictable");
+        for c in &cells {
+            c.set_dirty(false);
+        }
+        s.enforce_budget();
+        assert_eq!(s.resident_count(), 1);
+    }
+
+    #[test]
+    fn second_chance_spares_recently_referenced_pages() {
+        let s = PageStore::new_free();
+        let (_, hot) = s.allocate(TableId(0), PageSpace::Heap);
+        for _ in 0..3 {
+            s.allocate(TableId(0), PageSpace::Heap);
+        }
+        // One full budget pass clears every referenced bit…
+        s.set_budget_bytes(2 * crate::PAGE_SIZE as u64);
+        assert_eq!(s.resident_count(), 2);
+        // …then a touch re-arms the hot page: tightening the budget to
+        // one page must evict some *other* resident page first.
+        s.fault_in(&hot);
+        s.set_budget_bytes(crate::PAGE_SIZE as u64);
+        assert_eq!(s.resident_count(), 1);
+        assert!(hot.is_resident(), "referenced page evicted before cold pages");
+    }
+
+    #[test]
+    fn retouch_after_eviction_charges_a_fault() {
+        let s = PageStore::new_free();
+        let (_, first) = s.allocate(TableId(0), PageSpace::Heap);
+        for _ in 0..3 {
+            s.allocate(TableId(0), PageSpace::Heap);
+        }
+        s.set_budget_bytes(2 * crate::PAGE_SIZE as u64);
+        // enforce_budget evicted the two oldest (first in the ring).
+        assert!(!first.is_resident());
+        let faults_before = s.fault_count();
+        assert!(s.fault_in(&first), "re-touch of an evicted page must fault");
+        assert_eq!(s.fault_count(), faults_before + 1);
+        assert!(s.resident_count() <= 3);
+    }
+
+    #[test]
+    fn zero_budget_disables_eviction() {
+        let s = PageStore::new_free();
+        for _ in 0..16 {
+            s.allocate(TableId(0), PageSpace::Heap);
+        }
+        s.enforce_budget();
+        assert_eq!(s.resident_count(), 16);
+        assert_eq!(s.residency_counters().evictions(), 0);
+        assert_eq!(s.budget_bytes(), 0);
     }
 
     #[test]

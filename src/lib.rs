@@ -21,6 +21,7 @@
 
 pub use dmv_common as common;
 pub use dmv_core as core;
+pub use dmv_epoch as epoch;
 pub use dmv_memdb as memdb;
 pub use dmv_net as net;
 pub use dmv_ondisk as ondisk;

@@ -11,7 +11,7 @@
 //! A failing seed prints its oracle violations; reproduce it verbosely
 //! with `cargo xtask dst --seed <N>` and shrink it with the explorer.
 
-use dmv_dst::harness::run_schedule;
+use dmv_dst::harness::{run_schedule, run_schedule_with_gc_mutation};
 use dmv_dst::repro::{from_repro, to_repro};
 use dmv_dst::schedule::{for_seed, Event, Schedule, ScheduleConfig, Workload};
 
@@ -143,6 +143,81 @@ fn mid_batch_schedule_round_trips_through_repro_files() {
     let back = from_repro(&to_repro(&s)).unwrap();
     assert_eq!(back.config, s.config);
     assert_eq!(back.events, s.events, "mid-batch repro round-trip drift");
+}
+
+/// Hand-written memory-pressure schedule: a 4-page buffer budget clamps
+/// mid-run while clients keep reading (each read pins its snapshot in
+/// the epoch manager until that client's next read), updates push the
+/// committed vector past the pins, and a slave is killed and
+/// reintegrated under the budget. From the `mem-pressure` event on, the
+/// harness runs a GC sweep plus the bounded-memory and GC-safety
+/// oracles after every event, and the end-of-run drain requires every
+/// pending queue to empty once the pins are released.
+fn mem_pressure_schedule() -> Schedule {
+    Schedule {
+        seed: 888,
+        config: ScheduleConfig::bank(),
+        events: vec![
+            Event::Deposit { client: 0, acct: 0, amount: 5 },
+            Event::Read { client: 0 },
+            Event::MemPressure { pages: 4 },
+            Event::Transfer { client: 1, from: 0, to: 1, amount: 2 },
+            Event::Bump { client: 0, ctr: 0 },
+            Event::Transfer { client: 1, from: 2, to: 3, amount: 1 },
+            Event::Read { client: 1 },
+            Event::StaleRead { client: 0, back: 2 },
+            Event::Deposit { client: 0, acct: 4, amount: 9 },
+            Event::Bump { client: 1, ctr: 1 },
+            Event::KillSlave { nth: 0 },
+            Event::Detect,
+            Event::Reintegrate,
+            Event::Read { client: 0 },
+            Event::Deposit { client: 1, acct: 2, amount: 2 },
+            Event::Read { client: 1 },
+        ],
+    }
+}
+
+#[test]
+fn fixed_mem_pressure_is_bounded_and_gc_safe() {
+    let s = mem_pressure_schedule();
+    let r = run_schedule(&s);
+    assert!(
+        r.passed(),
+        "mem-pressure schedule failed {} oracle(s):\n  {}\ntrace:\n{}",
+        r.failures.len(),
+        r.failures.join("\n  "),
+        r.trace_text()
+    );
+    // Determinism: GC sweeps and evictions must not leak racy state
+    // into the trace.
+    let r2 = run_schedule(&s);
+    assert_eq!(r.trace_text(), r2.trace_text(), "mem-pressure schedule is not deterministic");
+}
+
+/// The deliberate-mutation check from the epoch design: arm the
+/// `set_ignore_pins_for_test` hook so reclamation ignores pinned
+/// readers, and the GC-safety oracle must catch the watermark running
+/// past a pinned tag. If this test ever fails, the oracle has lost the
+/// power to detect premature reclamation.
+#[test]
+fn gc_mutation_ignoring_pins_is_caught_by_the_safety_oracle() {
+    let s = mem_pressure_schedule();
+    let r = run_schedule_with_gc_mutation(&s);
+    assert!(!r.passed(), "mutated GC passed every oracle — the GC-safety oracle is toothless");
+    assert!(
+        r.failures.iter().any(|f| f.contains("GC safety violated")),
+        "mutation tripped the wrong oracle(s):\n  {}",
+        r.failures.join("\n  ")
+    );
+}
+
+#[test]
+fn mem_pressure_schedule_round_trips_through_repro_files() {
+    let s = mem_pressure_schedule();
+    let back = from_repro(&to_repro(&s)).unwrap();
+    assert_eq!(back.config, s.config);
+    assert_eq!(back.events, s.events, "mem-pressure repro round-trip drift");
 }
 
 /// Same seed ⇒ byte-identical trace: the whole point of the harness.

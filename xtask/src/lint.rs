@@ -64,10 +64,12 @@ const WALL_CLOCK_ALLOWED: &[&str] = &["crates/common/src/clock.rs", "crates/chec
 const RNG_ALLOWED: &[&str] = &["crates/common/src/rng.rs"];
 
 /// Crates whose hot paths must not use std's poisoning locks.
-const HOTPATH_CRATES: &[&str] = &["crates/core/", "crates/common/", "crates/pagestore/"];
+const HOTPATH_CRATES: &[&str] =
+    &["crates/core/", "crates/common/", "crates/pagestore/", "crates/epoch/"];
 
 /// Crates whose non-test code must not panic via unwrap/expect.
-const NO_UNWRAP_CRATES: &[&str] = &["crates/core/", "crates/memdb/", "crates/pagestore/"];
+const NO_UNWRAP_CRATES: &[&str] =
+    &["crates/core/", "crates/memdb/", "crates/pagestore/", "crates/epoch/"];
 
 /// The one crate allowed to open raw sockets; everyone else goes
 /// through the `Transport` trait.
